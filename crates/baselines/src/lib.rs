@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Comparison baselines: trivial advice schemas and no-advice distributed
+//! algorithms.
+//!
+//! The paper positions its schemas against two obvious alternatives:
+//!
+//! - **Trivial advice** ([`trivial`]): directly encode the solution —
+//!   `⌈log₂ k⌉` bits per node for a `k`-coloring (the paper's "trivial to
+//!   solve with β = 2" remark for 3-coloring), or `d` bits per node for an
+//!   arbitrary edge subset. Decoding is instant, but the advice is larger
+//!   than the schemas' 1 bit per node.
+//! - **No advice** ([`no_advice`]): global problems such as consistently
+//!   orienting a cycle or 2-coloring a bipartite graph require `Ω(n)`
+//!   rounds without advice (each node must see a full symmetry-breaking
+//!   landmark); with advice the paper's decoders run in `T(Δ)` rounds.
+//!   Experiment E10 plots exactly this separation.
+
+pub mod linial;
+pub mod no_advice;
+pub mod trivial;

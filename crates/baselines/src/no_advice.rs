@@ -1,0 +1,277 @@
+//! No-advice distributed algorithms for inherently global problems.
+//!
+//! A consistent cycle orientation, a 2-coloring of a bipartite graph, or a
+//! balanced orientation all require `Ω(n)` rounds without advice on a
+//! cycle: a node must see far enough to break the symmetry consistently
+//! with everyone else. These baselines implement the natural
+//! gather-everything algorithms and *measure* that cost, which experiment
+//! E10 contrasts with the `T(Δ)`-round advice decoders.
+
+use lad_graph::{coloring, EulerPartition, Graph, InducedSubgraph, NodeId, Orientation};
+use lad_runtime::{run_local, run_local_fallible, Ball, Network, RoundStats};
+
+/// Expands the view until the whole connected component of the center is
+/// visible; returns the final ball.
+fn gather_component<'n>(
+    ctx: &lad_runtime::NodeCtx<'n, ()>,
+) -> Ball<()> {
+    let mut r = 1usize.max(1);
+    loop {
+        let ball = ctx.ball(r);
+        // The component is fully visible once no member sits at the
+        // frontier with unseen edges.
+        let complete = ball
+            .graph()
+            .nodes()
+            .all(|v| ball.dist(v) < r || ball.graph().degree(v) == ball.global_degree(v));
+        if complete {
+            return ball;
+        }
+        r += r.max(1); // exponential growth keeps the probe count low
+    }
+}
+
+/// 2-colors each (bipartite) connected component without advice: every
+/// node gathers its whole component and applies the canonical rule (the
+/// smallest-UID member gets color 0). Rounds = Θ(component eccentricity).
+///
+/// # Errors
+///
+/// Returns the odd-cycle witness node if some component is not bipartite.
+pub fn two_coloring_no_advice(net: &Network) -> Result<(Vec<u8>, RoundStats), NodeId> {
+    run_local_fallible(net, |ctx| {
+        let ball = gather_component(ctx);
+        let g = ball.graph();
+        let Some(colors) = coloring::bipartition(g) else {
+            return Err(ball.global_node(ball.center()));
+        };
+        // Canonicalize: smallest-uid node gets 0.
+        let s = g
+            .nodes()
+            .min_by_key(|&v| ball.uid(v))
+            .expect("component nonempty");
+        let flip = colors[s.index()];
+        Ok(colors[ball.center().index()] ^ flip)
+    })
+}
+
+/// Computes an almost-balanced orientation without advice by gathering the
+/// whole component and orienting its Euler trails canonically. Rounds =
+/// Θ(component eccentricity) — the `Ω(n)` bound the paper cites for
+/// cycles.
+pub fn balanced_orientation_no_advice(net: &Network) -> (Orientation, RoundStats) {
+    let g = net.graph();
+    let (claims, stats) = run_local(net, |ctx| {
+        let ball = gather_component(ctx);
+        let bg = ball.graph();
+        // Canonical orientation of the visible component: Euler partition
+        // under the ball's uids, trails oriented by the same canonical
+        // rules the schema uses (via orient_all_forward on a canonical
+        // relabeling: here the whole component is visible, so the
+        // extraction itself is deterministic given uids — but extraction
+        // starts from node order, which is ball-local. Canonicalize by
+        // re-indexing nodes in uid order first).
+        let mut order: Vec<NodeId> = bg.nodes().collect();
+        order.sort_by_key(|&v| ball.uid(v));
+        let relabeled = InducedSubgraph::new(bg, &order);
+        let rg = relabeled.graph();
+        let r_uids: Vec<u64> = rg
+            .nodes()
+            .map(|v| ball.uid(relabeled.to_original(v)))
+            .collect();
+        let o = EulerPartition::new(rg, &r_uids).orient_all_forward(rg);
+        // Report the orientation of the center's incident edges.
+        let c = ball.center();
+        let rc = relabeled.to_local(c).expect("center visible");
+        let mut out = Vec::new();
+        for &re in rg.incident_edges(rc) {
+            let r_other = rg.other_endpoint(re, rc);
+            let b_other = relabeled.to_original(r_other);
+            let be = bg
+                .edge_between(c, b_other)
+                .expect("edge exists in the ball");
+            out.push((ball.global_edge(be), o.is_outgoing(rg, re, rc)));
+        }
+        out
+    });
+    let mut o = Orientation::new(g.m());
+    for (v, list) in g.nodes().zip(&claims) {
+        for &(e, out_of_v) in list {
+            let u = g.other_endpoint(e, v);
+            if out_of_v {
+                o.set(g, e, v, u);
+            } else {
+                o.set(g, e, u, v);
+            }
+        }
+    }
+    (o, stats)
+}
+
+/// The eccentricity-style lower-bound witness: the number of rounds the
+/// gather-component step costs at each node (for tables).
+pub fn gather_rounds(net: &Network) -> RoundStats {
+    run_local(net, |ctx| {
+        gather_component(ctx);
+    })
+    .1
+}
+
+/// Reference: the exact maximum eccentricity (what any no-advice algorithm
+/// for a globally-rigid problem on this graph must approach).
+pub fn max_eccentricity(g: &Graph) -> usize {
+    lad_graph::traversal::diameter(g).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn two_coloring_even_cycle_costs_omega_n() {
+        let net = Network::with_identity_ids(generators::cycle(64));
+        let (colors, stats) = two_coloring_no_advice(&net).unwrap();
+        for (_, (u, v)) in net.graph().edges() {
+            assert_ne!(colors[u.index()], colors[v.index()]);
+        }
+        // Gathering the whole cycle costs at least the radius.
+        assert!(stats.rounds() >= 32);
+    }
+
+    #[test]
+    fn two_coloring_rejects_odd_cycle() {
+        let net = Network::with_identity_ids(generators::cycle(9));
+        assert!(two_coloring_no_advice(&net).is_err());
+    }
+
+    #[test]
+    fn balanced_orientation_without_advice_works_but_globally() {
+        let net = Network::with_identity_ids(generators::cycle(80));
+        let (o, stats) = balanced_orientation_no_advice(&net);
+        assert!(o.is_almost_balanced(net.graph()));
+        assert!(stats.rounds() >= 40, "rounds {}", stats.rounds());
+    }
+
+    #[test]
+    fn balanced_orientation_on_random_graph() {
+        let g = generators::random_bounded_degree(50, 5, 90, 4);
+        let net = Network::with_identity_ids(g);
+        let (o, _) = balanced_orientation_no_advice(&net);
+        assert!(o.is_almost_balanced(net.graph()));
+    }
+
+    #[test]
+    fn gather_rounds_tracks_eccentricity() {
+        let net = Network::with_identity_ids(generators::path(33));
+        let stats = gather_rounds(&net);
+        let diam = max_eccentricity(net.graph());
+        assert!(stats.rounds() >= diam / 2);
+        assert!(stats.rounds() <= 4 * diam.max(1));
+    }
+}
+
+/// A distributed greedy `(Δ+1)`-coloring without advice, via the classic
+/// "local UID maxima color first" schedule, run on the explicit
+/// message-passing simulator. Terminates in `O(n)` rounds in the worst
+/// case (a UID-sorted path), `O(Δ log n)`-ish typically — either way *not*
+/// `f(Δ)`, which is the point of comparison with the advice schemas.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyColoring;
+
+/// State for [`GreedyColoring`].
+#[derive(Debug, Clone)]
+pub struct GreedyState {
+    color: Option<usize>,
+    /// Last received (uid, color) per port.
+    nbrs: Vec<(u64, Option<usize>)>,
+}
+
+impl lad_runtime::messaging::RoundAlgorithm<()> for GreedyColoring {
+    type State = GreedyState;
+    type Msg = (u64, Option<usize>);
+    type Out = usize;
+
+    fn init(&self, info: &lad_runtime::messaging::LocalInfo<()>) -> GreedyState {
+        GreedyState {
+            color: None,
+            nbrs: vec![(0, None); info.degree],
+        }
+    }
+
+    fn send(
+        &self,
+        st: &GreedyState,
+        info: &lad_runtime::messaging::LocalInfo<()>,
+    ) -> Vec<(u64, Option<usize>)> {
+        vec![(info.uid, st.color); info.degree]
+    }
+
+    fn receive(
+        &self,
+        st: &mut GreedyState,
+        info: &lad_runtime::messaging::LocalInfo<()>,
+        inbox: &[(u64, Option<usize>)],
+    ) {
+        st.nbrs.copy_from_slice(inbox);
+        if st.color.is_some() {
+            return;
+        }
+        // Color now iff every uncolored neighbor has a smaller uid.
+        let is_max = st
+            .nbrs
+            .iter()
+            .all(|&(uid, color)| color.is_some() || uid < info.uid);
+        if is_max {
+            let used: Vec<usize> = st.nbrs.iter().filter_map(|&(_, c)| c).collect();
+            let c = (0..).find(|c| !used.contains(c)).expect("some color free");
+            st.color = Some(c);
+        }
+    }
+
+    fn output(&self, st: &GreedyState) -> Option<usize> {
+        st.color
+    }
+}
+
+/// Runs the distributed greedy coloring; returns `(colors, rounds)`.
+///
+/// # Errors
+///
+/// Propagates a round-limit overflow (bounded by `2n + 2`, which always
+/// suffices: at least one node colors per two rounds).
+pub fn greedy_coloring_no_advice(
+    net: &Network,
+) -> Result<(Vec<usize>, usize), lad_runtime::messaging::RoundLimitExceeded> {
+    let budget = 2 * net.graph().n() + 2;
+    lad_runtime::messaging::run_rounds(net, &GreedyColoring, budget)
+}
+
+#[cfg(test)]
+mod greedy_tests {
+    use super::*;
+    use lad_graph::{coloring, generators, IdAssignment};
+
+    #[test]
+    fn greedy_coloring_is_proper_and_bounded() {
+        for seed in 0..5 {
+            let g = generators::random_bounded_degree(80, 6, 170, seed);
+            let delta = g.max_degree();
+            let n = g.n();
+            let net = Network::with_ids(g, IdAssignment::random_permutation(n, seed));
+            let (colors, rounds) = greedy_coloring_no_advice(&net).unwrap();
+            assert!(coloring::is_proper_k_coloring(net.graph(), &colors, delta + 1));
+            assert!(rounds <= 2 * n + 2);
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_worst_case_is_linear() {
+        // A uid-sorted path serializes completely: rounds ≈ n.
+        let n = 60;
+        let net = Network::with_ids(generators::path(n), IdAssignment::identity(n));
+        let (colors, rounds) = greedy_coloring_no_advice(&net).unwrap();
+        assert!(coloring::is_proper_k_coloring(net.graph(), &colors, 3));
+        assert!(rounds >= n - 2, "rounds {rounds} not linear");
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion benchmarks for the advice schemas — one group per
+//! experiment area (E1–E10 wall-clock counterparts; the shape-level
+//! numbers live in the `tables` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lad_core::balanced::BalancedOrientationSchema;
+use lad_core::cluster_coloring::ClusterColoringSchema;
+use lad_core::decompress::EdgeSubsetCodec;
+use lad_core::delta_coloring::DeltaColoringSchema;
+use lad_core::eth::{advice_is_label, brute_force_advice_search};
+use lad_core::lcl_subexp::LclSubexpSchema;
+use lad_core::schema::AdviceSchema;
+use lad_core::splitting::SplittingSchema;
+use lad_core::three_coloring::ThreeColoringSchema;
+use lad_graph::generators;
+use lad_lcl::problems::ProperColoring;
+use lad_runtime::Network;
+use std::hint::black_box;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("schemas");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g
+}
+
+/// E3/E10 — balanced orientation encode and decode across cycle sizes.
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = quick(c);
+    for n in [128usize, 512] {
+        let net = Network::with_identity_ids(generators::cycle(n));
+        let schema = BalancedOrientationSchema::default();
+        let advice = schema.encode(&net).unwrap();
+        group.bench_with_input(BenchmarkId::new("balanced/encode", n), &n, |b, _| {
+            b.iter(|| schema.encode(black_box(&net)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("balanced/decode", n), &n, |b, _| {
+            b.iter(|| schema.decode(black_box(&net), &advice).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E4 — edge-subset compression round trip.
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = quick(c);
+    let g = generators::grid2d(12, 12, true);
+    let m = g.m();
+    let net = Network::with_identity_ids(g);
+    let subset: Vec<bool> = (0..m).map(|i| i % 3 == 0).collect();
+    let codec = EdgeSubsetCodec::default();
+    let advice = codec.compress(&net, &subset).unwrap();
+    group.bench_function("decompress/compress", |b| {
+        b.iter(|| codec.compress(black_box(&net), &subset).unwrap())
+    });
+    group.bench_function("decompress/decompress", |b| {
+        b.iter(|| codec.decompress(black_box(&net), &advice).unwrap())
+    });
+    group.finish();
+}
+
+/// E5/E6 — coloring schemas.
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = quick(c);
+    let (g, _) = generators::random_tripartite([25, 25, 25], 5, 140, 1);
+    let net = Network::with_identity_ids(g);
+    let three = ThreeColoringSchema::default();
+    let advice = three.encode(&net).unwrap();
+    group.bench_function("three_coloring/decode", |b| {
+        b.iter(|| three.decode(black_box(&net), &advice).unwrap())
+    });
+    let cluster = ClusterColoringSchema::default();
+    let cadvice = cluster.encode(&net).unwrap();
+    group.bench_function("cluster_coloring/decode", |b| {
+        b.iter(|| cluster.decode(black_box(&net), &cadvice).unwrap())
+    });
+    let delta = DeltaColoringSchema::default();
+    let dadvice = delta.encode(&net).unwrap();
+    group.bench_function("delta_coloring/decode", |b| {
+        b.iter(|| delta.decode(black_box(&net), &dadvice).unwrap())
+    });
+    group.finish();
+}
+
+/// E2 — LCL-on-subexponential-growth decode.
+fn bench_lcl_subexp(c: &mut Criterion) {
+    let mut group = quick(c);
+    let lcl = ProperColoring::new(3);
+    let net = Network::with_identity_ids(generators::cycle(200));
+    let schema = LclSubexpSchema::new(&lcl, 25, 50_000_000);
+    let advice = schema.encode(&net).unwrap();
+    group.bench_function("lcl_subexp/decode-cycle200", |b| {
+        b.iter(|| schema.decode(black_box(&net), &advice).unwrap())
+    });
+    group.finish();
+}
+
+/// E9 — splitting decode.
+fn bench_splitting(c: &mut Criterion) {
+    let mut group = quick(c);
+    let g = generators::random_bipartite_regular(20, 4, 2);
+    let net = Network::with_identity_ids(g);
+    let schema = SplittingSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    group.bench_function("splitting/decode", |b| {
+        b.iter(|| schema.decode(black_box(&net), &advice).unwrap())
+    });
+    group.finish();
+}
+
+/// E7 — brute-force advice search (the exponential wall, timed).
+fn bench_eth(c: &mut Criterion) {
+    let mut group = quick(c);
+    for n in [9usize, 13] {
+        let net = Network::with_identity_ids(generators::cycle(n));
+        let lcl = ProperColoring::new(2);
+        group.bench_with_input(BenchmarkId::new("eth/brute_force", n), &n, |b, _| {
+            b.iter(|| {
+                brute_force_advice_search(
+                    black_box(&net),
+                    &lcl,
+                    1,
+                    0,
+                    advice_is_label,
+                    false,
+                    1 << 30,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_balanced,
+    bench_decompress,
+    bench_coloring,
+    bench_lcl_subexp,
+    bench_splitting,
+    bench_eth
+);
+criterion_main!(benches);

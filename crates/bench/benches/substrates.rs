@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the substrates: graph algorithms, the LOCAL
+//! runtime, and the brute-force LCL solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lad_graph::{generators, orientation, ruling, traversal, EulerPartition, NodeId};
+use lad_lcl::brute;
+use lad_lcl::problems::ProperColoring;
+use lad_runtime::{run_local, Ball, Network};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let g = generators::random_bounded_degree(2000, 8, 6000, 3);
+    group.bench_function("bfs_distances/n2000", |b| {
+        b.iter(|| traversal::bfs_distances(black_box(&g), NodeId(0)))
+    });
+    group.bench_function("ruling_set/n2000", |b| {
+        b.iter(|| ruling::ruling_set(black_box(&g), 5))
+    });
+    let uids: Vec<u64> = (1..=2000).collect();
+    group.bench_function("euler_partition/n2000", |b| {
+        b.iter(|| EulerPartition::new(black_box(&g), &uids))
+    });
+    let ep = EulerPartition::new(&g, &uids);
+    group.bench_function("orient_all_forward/n2000", |b| {
+        b.iter(|| ep.orient_all_forward(black_box(&g)))
+    });
+    group.bench_function("pair_partner/n2000", |b| {
+        b.iter(|| {
+            for v in g.nodes().take(100) {
+                for &e in g.incident_edges(v) {
+                    black_box(orientation::pair_partner(&g, &uids, v, e));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let net = Network::with_identity_ids(generators::grid2d(30, 30, true));
+    for r in [2usize, 6] {
+        group.bench_with_input(BenchmarkId::new("ball_collect", r), &r, |b, &r| {
+            b.iter(|| Ball::collect(black_box(&net), NodeId(450), r))
+        });
+    }
+    group.bench_function("run_local/radius2", |b| {
+        b.iter(|| run_local(black_box(&net), |ctx| ctx.ball(2).n()))
+    });
+    group.finish();
+}
+
+fn bench_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcl_brute");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let g = generators::cycle(24);
+    let uids: Vec<u64> = (1..=24).collect();
+    let lcl = ProperColoring::new(3);
+    group.bench_function("solve/3col-cycle24", |b| {
+        b.iter(|| brute::solve(black_box(&g), &uids, &lcl, 10_000_000).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph, bench_runtime, bench_brute);
+criterion_main!(benches);

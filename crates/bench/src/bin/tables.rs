@@ -1,0 +1,56 @@
+//! Prints the experiment tables E1–E10 (plus the proofs and ablation
+//! tables). See DESIGN.md §5 and EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p lad-bench --bin tables -- all
+//! cargo run --release -p lad-bench --bin tables -- e3 e10
+//! ```
+
+use lad_bench::experiments as ex;
+use lad_bench::Table;
+
+fn run(name: &str) -> Option<Vec<Table>> {
+    Some(match name {
+        "e1" => vec![ex::e1_advice_size()],
+        "e2" => vec![ex::e2_lcl_subexp()],
+        "e3" => vec![ex::e3_balanced()],
+        "e4" => vec![ex::e4_decompress()],
+        "e5" => vec![ex::e5_delta_coloring()],
+        "e6" => vec![ex::e6_three_coloring()],
+        "e7" => vec![ex::e7_eth_brute_force()],
+        "e8" => vec![ex::e8_order_invariance()],
+        "e9" => vec![ex::e9_splitting()],
+        "e10" => vec![ex::e10_advice_vs_no_advice()],
+        "proofs" => vec![ex::proofs_table()],
+        "ablation" => vec![ex::cluster_ablation()],
+        "growth" => vec![ex::growth_table()],
+        "scale" => vec![ex::scale_table()],
+        "linial" => vec![ex::linial_table()],
+        "all" => ex::all(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: tables <e1..e10|proofs|ablation|all> [more...]\n\
+             (see DESIGN.md §5 for the experiment index)"
+        );
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match run(arg) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {arg:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

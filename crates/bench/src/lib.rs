@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! The evaluation harness: experiment runners E1–E10 (see DESIGN.md §5)
+//! and the table formatting they share.
+//!
+//! The paper is a theory brief announcement with no tables or figures of
+//! its own, so each experiment here validates one theorem-level claim
+//! empirically; `EXPERIMENTS.md` records the measured outputs. Run them
+//! with the `tables` binary:
+//!
+//! ```text
+//! cargo run --release -p lad-bench --bin tables -- all
+//! cargo run --release -p lad-bench --bin tables -- e3 e10
+//! ```
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,253 @@
+//! Advice maps: one bit string per node, with the statistics the paper's
+//! definitions quantify over.
+
+use crate::bits::BitString;
+use lad_graph::{traversal, Graph, NodeId};
+use std::fmt;
+
+/// The schema kinds of Definition 3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdviceKind {
+    /// All nodes hold bit strings of the same length.
+    UniformFixedLength {
+        /// Bits per node.
+        bits: usize,
+    },
+    /// Some nodes hold strings of one common length; the rest hold nothing.
+    SubsetFixedLength {
+        /// Bits per bit-holding node.
+        bits: usize,
+    },
+    /// Bit-holding nodes hold strings of varying positive lengths.
+    VariableLength,
+}
+
+/// An assignment of advice bit strings to the nodes of a graph.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::advice::AdviceMap;
+/// use lad_core::bits::BitString;
+///
+/// let mut a = AdviceMap::empty(3);
+/// a.set(lad_graph::NodeId(1), BitString::parse("101"));
+/// assert_eq!(a.total_bits(), 3);
+/// assert_eq!(a.holders().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdviceMap {
+    strings: Vec<BitString>,
+}
+
+impl AdviceMap {
+    /// All-empty advice for `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        AdviceMap {
+            strings: vec![BitString::new(); n],
+        }
+    }
+
+    /// Builds from explicit per-node strings.
+    pub fn from_strings(strings: Vec<BitString>) -> Self {
+        AdviceMap { strings }
+    }
+
+    /// Uniform 1-bit advice from a boolean per node.
+    pub fn from_one_bit(bits: &[bool]) -> Self {
+        AdviceMap {
+            strings: bits.iter().map(|&b| BitString::one_bit(b)).collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// The advice of node `v`.
+    pub fn get(&self, v: NodeId) -> &BitString {
+        &self.strings[v.index()]
+    }
+
+    /// Overwrites the advice of node `v`.
+    pub fn set(&mut self, v: NodeId, bits: BitString) {
+        self.strings[v.index()] = bits;
+    }
+
+    /// Appends bits to the advice of node `v`.
+    pub fn append(&mut self, v: NodeId, bits: &BitString) {
+        self.strings[v.index()].extend(bits);
+    }
+
+    /// All per-node strings, indexed by node.
+    pub fn strings(&self) -> &[BitString] {
+        &self.strings
+    }
+
+    /// Total number of advice bits.
+    pub fn total_bits(&self) -> usize {
+        self.strings.iter().map(BitString::len).sum()
+    }
+
+    /// The longest per-node string (the `β` of Definition 3.4).
+    pub fn max_bits(&self) -> usize {
+        self.strings.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// Average bits per node.
+    pub fn mean_bits(&self) -> f64 {
+        if self.strings.is_empty() {
+            return 0.0;
+        }
+        self.total_bits() as f64 / self.n() as f64
+    }
+
+    /// The bit-holding nodes (non-empty advice), in index order.
+    pub fn holders(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.strings
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (!s.is_empty()).then(|| NodeId::from_index(i)))
+    }
+
+    /// Classifies the map per Definition 3.4.
+    pub fn kind(&self) -> AdviceKind {
+        let mut lens: Vec<usize> = self
+            .strings
+            .iter()
+            .map(BitString::len)
+            .filter(|&l| l > 0)
+            .collect();
+        lens.sort_unstable();
+        lens.dedup();
+        match lens.as_slice() {
+            [] => AdviceKind::UniformFixedLength { bits: 0 },
+            [l] => {
+                if self.strings.iter().all(|s| s.len() == *l) {
+                    AdviceKind::UniformFixedLength { bits: *l }
+                } else {
+                    AdviceKind::SubsetFixedLength { bits: *l }
+                }
+            }
+            _ => AdviceKind::VariableLength,
+        }
+    }
+
+    /// For uniform 1-bit advice: the sparsity ratio `n₁ / (n₀ + n₁)` of
+    /// Definition 3.5 (`None` if the advice is not uniform 1-bit).
+    pub fn one_ratio(&self) -> Option<f64> {
+        if self.kind() != (AdviceKind::UniformFixedLength { bits: 1 }) {
+            return None;
+        }
+        let ones = self
+            .strings
+            .iter()
+            .filter(|s| s.len() == 1 && s.get(0))
+            .count();
+        Some(ones as f64 / self.n() as f64)
+    }
+
+    /// The maximum number of bit-holding nodes in any radius-`alpha` ball of
+    /// `g` — the `γ` that Definition 4 (composability) bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different node count.
+    pub fn max_holders_per_ball(&self, g: &Graph, alpha: usize) -> usize {
+        assert_eq!(g.n(), self.n());
+        let holders: Vec<bool> = self.strings.iter().map(|s| !s.is_empty()).collect();
+        g.nodes()
+            .map(|v| {
+                traversal::ball(g, v, alpha)
+                    .into_iter()
+                    .filter(|&(u, _)| holders[u.index()])
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum total advice bits in any radius-`alpha` ball of `g`.
+    pub fn max_bits_per_ball(&self, g: &Graph, alpha: usize) -> usize {
+        assert_eq!(g.n(), self.n());
+        g.nodes()
+            .map(|v| {
+                traversal::ball(g, v, alpha)
+                    .into_iter()
+                    .map(|(u, _)| self.strings[u.index()].len())
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AdviceMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "advice: {} nodes, {} total bits, max {} bits/node, {} holders",
+            self.n(),
+            self.total_bits(),
+            self.max_bits(),
+            self.holders().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn kinds() {
+        let uniform = AdviceMap::from_one_bit(&[true, false, true]);
+        assert_eq!(uniform.kind(), AdviceKind::UniformFixedLength { bits: 1 });
+        let mut subset = AdviceMap::empty(3);
+        subset.set(NodeId(0), BitString::parse("10"));
+        subset.set(NodeId(2), BitString::parse("01"));
+        assert_eq!(subset.kind(), AdviceKind::SubsetFixedLength { bits: 2 });
+        let mut var = AdviceMap::empty(3);
+        var.set(NodeId(0), BitString::parse("1"));
+        var.set(NodeId(2), BitString::parse("01"));
+        assert_eq!(var.kind(), AdviceKind::VariableLength);
+        assert_eq!(
+            AdviceMap::empty(4).kind(),
+            AdviceKind::UniformFixedLength { bits: 0 }
+        );
+    }
+
+    #[test]
+    fn one_ratio_sparsity() {
+        let a = AdviceMap::from_one_bit(&[true, false, false, false]);
+        assert_eq!(a.one_ratio(), Some(0.25));
+        let mut v = AdviceMap::empty(2);
+        v.set(NodeId(0), BitString::parse("11"));
+        assert_eq!(v.one_ratio(), None);
+    }
+
+    #[test]
+    fn ball_statistics() {
+        let g = generators::cycle(10);
+        let mut a = AdviceMap::empty(10);
+        a.set(NodeId(0), BitString::parse("111"));
+        a.set(NodeId(5), BitString::parse("1"));
+        assert_eq!(a.max_holders_per_ball(&g, 2), 1);
+        assert_eq!(a.max_holders_per_ball(&g, 5), 2);
+        assert_eq!(a.max_bits_per_ball(&g, 2), 3);
+        assert_eq!(a.max_bits_per_ball(&g, 5), 4);
+    }
+
+    #[test]
+    fn totals() {
+        let mut a = AdviceMap::empty(3);
+        a.set(NodeId(1), BitString::parse("1010"));
+        a.append(NodeId(1), &BitString::parse("1"));
+        assert_eq!(a.total_bits(), 5);
+        assert_eq!(a.max_bits(), 5);
+        assert!((a.mean_bits() - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.holders().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Composability profiling (Definition 3.4/Definition 4 of the paper).
+//!
+//! A *composable* schema is a family of variable-length schemas tunable by
+//! `(c, γ, α)`: in every radius-`α` ball there are at most `γ₀`
+//! bit-holding nodes, each holding at most `β ≤ c·α/γ³` bits. The paper
+//! uses this bookkeeping to compose schemas (Lemma 1) and to convert them
+//! to uniform 1-bit advice (Lemma 2).
+//!
+//! Our schemas expose concrete tuning knobs (anchor spacings, cluster
+//! spacings); this module *measures* the resulting `(α, γ, β)` profile of
+//! any advice map, so that composability can be checked empirically on any
+//! instance — experiment E3 reports these numbers.
+
+use crate::advice::AdviceMap;
+use lad_graph::{traversal, Graph};
+
+/// The measured Definition-4 quantities at one radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilePoint {
+    /// Ball radius `α`.
+    pub alpha: usize,
+    /// Maximum bit-holding nodes in any radius-`α` ball (`γ`).
+    pub max_holders: usize,
+    /// Maximum total advice bits in any radius-`α` ball.
+    pub max_bits: usize,
+    /// Maximum bits held by a single node (`β`).
+    pub max_node_bits: usize,
+}
+
+impl ProfilePoint {
+    /// Checks the Definition-4 inequality `β ≤ c·α/γ³` for a given `c`
+    /// (with `γ = max_holders`, vacuously true when no node holds bits).
+    pub fn satisfies(&self, c: f64) -> bool {
+        if self.max_holders == 0 {
+            return true;
+        }
+        let gamma = self.max_holders as f64;
+        self.max_node_bits as f64 <= c * self.alpha as f64 / (gamma * gamma * gamma)
+    }
+}
+
+/// Measures the `(α, γ, β)` profile of an advice map over a set of radii.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::advice::AdviceMap;
+/// use lad_core::bits::BitString;
+/// use lad_core::composable::profile;
+/// use lad_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(30);
+/// let mut advice = AdviceMap::empty(30);
+/// advice.set(NodeId(0), BitString::parse("11"));
+/// advice.set(NodeId(15), BitString::parse("0"));
+/// let pts = profile(&g, &advice, &[5]);
+/// assert_eq!(pts[0].max_holders, 1); // anchors are 15 apart
+/// assert_eq!(pts[0].max_bits, 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the advice covers a different node count than the graph.
+pub fn profile(g: &Graph, advice: &AdviceMap, alphas: &[usize]) -> Vec<ProfilePoint> {
+    assert_eq!(g.n(), advice.n(), "advice/graph node count mismatch");
+    let holder: Vec<bool> = g
+        .nodes()
+        .map(|v| !advice.get(v).is_empty())
+        .collect();
+    let bits: Vec<usize> = g.nodes().map(|v| advice.get(v).len()).collect();
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let mut max_holders = 0;
+            let mut max_bits = 0;
+            for v in g.nodes() {
+                let ball = traversal::ball(g, v, alpha);
+                let h = ball.iter().filter(|&&(u, _)| holder[u.index()]).count();
+                let b: usize = ball.iter().map(|&(u, _)| bits[u.index()]).sum();
+                max_holders = max_holders.max(h);
+                max_bits = max_bits.max(b);
+            }
+            ProfilePoint {
+                alpha,
+                max_holders,
+                max_bits,
+                max_node_bits: advice.max_bits(),
+            }
+        })
+        .collect()
+}
+
+/// The smallest `c` for which every profile point satisfies Definition 4
+/// (∞ when some ball is saturated with zero-radius information).
+pub fn min_constant(points: &[ProfilePoint]) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.max_holders > 0 && p.alpha > 0)
+        .map(|p| {
+            let gamma = p.max_holders as f64;
+            p.max_node_bits as f64 * gamma * gamma * gamma / p.alpha as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balanced::BalancedOrientationSchema;
+    use crate::schema::AdviceSchema;
+    use lad_graph::generators;
+    use lad_runtime::Network;
+
+    #[test]
+    fn empty_advice_profiles_to_zero() {
+        let g = generators::cycle(20);
+        let advice = AdviceMap::empty(20);
+        let pts = profile(&g, &advice, &[1, 3, 5]);
+        assert!(pts.iter().all(|p| p.max_holders == 0 && p.max_bits == 0));
+        assert!(pts.iter().all(|p| p.satisfies(0.0)));
+        assert_eq!(min_constant(&pts), 0.0);
+    }
+
+    #[test]
+    fn balanced_orientation_profile_scales_with_spacing() {
+        let net = Network::with_identity_ids(generators::cycle(400));
+        let tight = BalancedOrientationSchema::new(8, 8).encode(&net).unwrap();
+        let loose = BalancedOrientationSchema::new(8, 40).encode(&net).unwrap();
+        let alpha = 20;
+        let pt_tight = profile(net.graph(), &tight, &[alpha])[0];
+        let pt_loose = profile(net.graph(), &loose, &[alpha])[0];
+        // Looser anchors → fewer holders per ball.
+        assert!(pt_loose.max_holders < pt_tight.max_holders);
+        // On a cycle with spacing 40, a radius-20 ball sees ≤ 2 anchors.
+        assert!(pt_loose.max_holders <= 2);
+    }
+
+    #[test]
+    fn definition_inequality_direction() {
+        let pt = ProfilePoint {
+            alpha: 64,
+            max_holders: 2,
+            max_bits: 4,
+            max_node_bits: 2,
+        };
+        // β = 2 ≤ c·64/8 → needs c ≥ 0.25.
+        assert!(!pt.satisfies(0.1));
+        assert!(pt.satisfies(0.3));
+        assert!((min_constant(&[pt]) - 0.25).abs() < 1e-9);
+    }
+}

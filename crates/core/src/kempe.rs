@@ -1,0 +1,262 @@
+//! Kempe-chain and shift-path recoloring — the centralized engine behind
+//! the Panconesi–Srinivasan step of Contribution 5 (Section 6.2).
+//!
+//! The paper's Lemma 6.7 (after (Panconesi and Srinivasan, 1992)) extends
+//! a partial Δ-coloring by *shifting colors along a path* from an
+//! uncolored vertex to a "good" vertex `x` — one with degree `< Δ` or two
+//! identically-colored neighbors — and recoloring `x` with a freed color.
+//! Our encoder uses these primitives to repair the `(Δ+1)`-coloring of
+//! stage 2 into a true Δ-coloring before computing the difference
+//! encoding; they are exposed here because they are classic, reusable
+//! recoloring machinery in their own right.
+
+use lad_graph::{coloring, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Colors available at `v` under `chi` restricted to colors `< k`
+/// (ignoring `v`'s own color).
+pub fn free_colors(g: &Graph, chi: &[usize], v: NodeId, k: usize) -> Vec<usize> {
+    let mut used = vec![false; k];
+    for &u in g.neighbors(v) {
+        let c = chi[u.index()];
+        if c < k {
+            used[c] = true;
+        }
+    }
+    (0..k).filter(|&c| !used[c]).collect()
+}
+
+/// Whether `v` is a *good* endpoint for a shift path: degree `< k`, or two
+/// neighbors sharing a color (so uncoloring `v` always leaves it a free
+/// color among `0..k`).
+pub fn is_good_vertex(g: &Graph, chi: &[usize], v: NodeId, k: usize) -> bool {
+    if g.degree(v) < k {
+        return true;
+    }
+    let mut seen = vec![false; k + 1];
+    for &u in g.neighbors(v) {
+        let c = chi[u.index()].min(k);
+        if seen[c] {
+            return true;
+        }
+        seen[c] = true;
+    }
+    false
+}
+
+/// The two-colored Kempe component of `v` under colors `{a, b}`.
+pub fn kempe_component(g: &Graph, chi: &[usize], v: NodeId, a: usize, b: usize) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    let mut out = Vec::new();
+    if chi[v.index()] != a && chi[v.index()] != b {
+        return out;
+    }
+    seen[v.index()] = true;
+    let mut q = VecDeque::from([v]);
+    while let Some(w) = q.pop_front() {
+        out.push(w);
+        for &u in g.neighbors(w) {
+            if !seen[u.index()] && (chi[u.index()] == a || chi[u.index()] == b) {
+                seen[u.index()] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+/// Swaps colors `a ↔ b` on the Kempe component of `v`. Preserves
+/// properness.
+pub fn kempe_swap(g: &Graph, chi: &mut [usize], v: NodeId, a: usize, b: usize) {
+    for w in kempe_component(g, chi, v, a, b) {
+        let c = chi[w.index()];
+        chi[w.index()] = if c == a { b } else { a };
+    }
+}
+
+/// Attempts to recolor the single vertex `v` (currently colored `≥ k`)
+/// with a color `< k`, by (1) a directly free color, (2) a Kempe swap at a
+/// neighbor, or (3) a shift path to a good vertex. Returns whether it
+/// succeeded; `chi` stays a proper coloring either way.
+pub fn recolor_vertex(g: &Graph, chi: &mut [usize], v: NodeId, k: usize) -> bool {
+    debug_assert!(coloring::is_proper_coloring(g, chi));
+    // (1) a free color.
+    if let Some(&c) = free_colors(g, chi, v, k).first() {
+        chi[v.index()] = c;
+        return true;
+    }
+    // (2) Kempe swaps: recolor some a-colored neighbor's chain to b so
+    // that a becomes free at v — valid only if v is NOT in that chain.
+    for a in 0..k {
+        for b in 0..k {
+            if a == b {
+                continue;
+            }
+            let neighbors_a: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| chi[u.index()] == a)
+                .collect();
+            if neighbors_a.is_empty() {
+                continue;
+            }
+            // All a-neighbors must flip to b without any b-neighbor
+            // flipping to a; the simple sufficient case: exactly one
+            // a-neighbor, whose (a,b)-component avoids all b-neighbors.
+            if neighbors_a.len() != 1 {
+                continue;
+            }
+            let comp = kempe_component(g, chi, neighbors_a[0], a, b);
+            let touches_b_neighbor = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| chi[u.index()] == b && comp.contains(&u));
+            if touches_b_neighbor {
+                continue;
+            }
+            let mut trial = chi.to_vec();
+            kempe_swap(g, &mut trial, neighbors_a[0], a, b);
+            trial[v.index()] = a;
+            if coloring::is_proper_k_coloring(g, &trial, k) {
+                chi.copy_from_slice(&trial);
+                return true;
+            }
+        }
+    }
+    // (3) shift path to a good vertex: BFS to the nearest good vertex,
+    // then pull colors backward along the path and recolor the endpoint.
+    let Some(path) = shortest_path_to_good(g, chi, v, k) else {
+        return false;
+    };
+    let mut trial = chi.to_vec();
+    // path[0] = v, path[last] = good vertex x. Shift: each path vertex
+    // takes its successor's color; then x picks any free color.
+    for i in 0..path.len() - 1 {
+        trial[path[i].index()] = trial[path[i + 1].index()];
+    }
+    let x = *path.last().expect("path nonempty");
+    trial[x.index()] = k; // temporarily out of range, never matches < k
+    let Some(&c) = free_colors(g, &trial, x, k).first() else {
+        return false;
+    };
+    trial[x.index()] = c;
+    if coloring::is_proper_k_coloring(g, &trial, k) {
+        chi.copy_from_slice(&trial);
+        return true;
+    }
+    // Validation failed (shift paths are only heuristically sound when
+    // taken off the BFS tree): leave chi untouched.
+    false
+}
+
+/// BFS to the nearest good vertex, returning the path from `v` (inclusive).
+fn shortest_path_to_good(
+    g: &Graph,
+    chi: &[usize],
+    v: NodeId,
+    k: usize,
+) -> Option<Vec<NodeId>> {
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.n()];
+    let mut seen = vec![false; g.n()];
+    seen[v.index()] = true;
+    let mut q = VecDeque::from([v]);
+    while let Some(w) = q.pop_front() {
+        if w != v && is_good_vertex(g, chi, w, k) {
+            let mut path = vec![w];
+            let mut cur = w;
+            while let Some(p) = parent[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &u in g.neighbors(w) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(w);
+                q.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn free_colors_and_good_vertices() {
+        let g = generators::star(3);
+        // Center 0 colored 3 (out of range), leaves 0,1,2.
+        let chi = vec![3usize, 0, 1, 2];
+        assert!(free_colors(&g, &chi, NodeId(0), 3).is_empty());
+        assert_eq!(free_colors(&g, &chi, NodeId(1), 3), vec![0, 1, 2]); // own color ignored
+        // Leaves have degree 1 < 3: good.
+        assert!(is_good_vertex(&g, &chi, NodeId(1), 3));
+        // Center has 3 distinctly-colored neighbors and degree 3: not good.
+        assert!(!is_good_vertex(&g, &chi, NodeId(0), 3));
+    }
+
+    #[test]
+    fn kempe_component_and_swap() {
+        let g = generators::path(5);
+        let mut chi = vec![0usize, 1, 0, 1, 2];
+        let comp = kempe_component(&g, &chi, NodeId(0), 0, 1);
+        assert_eq!(comp.len(), 4); // nodes 0..3; node 4 has color 2
+        kempe_swap(&g, &mut chi, NodeId(0), 0, 1);
+        assert_eq!(chi, vec![1, 0, 1, 0, 2]);
+        assert!(coloring::is_proper_coloring(&g, &chi));
+    }
+
+    #[test]
+    fn recolor_with_direct_free_color() {
+        let g = generators::path(3);
+        let mut chi = vec![0usize, 2, 0]; // middle colored 2, target k = 2
+        assert!(recolor_vertex(&g, &mut chi, NodeId(1), 2));
+        assert!(coloring::is_proper_k_coloring(&g, &chi, 2));
+    }
+
+    #[test]
+    fn recolor_on_even_cycle_via_chain() {
+        // C4 colored 0,1,0,2 with k = 2: node 3 must flow through chains.
+        let g = generators::cycle(4);
+        let mut chi = vec![0usize, 1, 0, 2];
+        let ok = recolor_vertex(&g, &mut chi, NodeId(3), 2);
+        assert!(ok, "even cycle is 2-colorable");
+        assert!(coloring::is_proper_k_coloring(&g, &chi, 2));
+    }
+
+    #[test]
+    fn recolor_fails_honestly_on_odd_cycle() {
+        let g = generators::cycle(5);
+        let mut chi = vec![0usize, 1, 0, 1, 2];
+        let before = chi.clone();
+        let ok = recolor_vertex(&g, &mut chi, NodeId(4), 2);
+        assert!(!ok, "odd cycles are not 2-colorable");
+        assert_eq!(chi, before, "failed attempts must not corrupt chi");
+    }
+
+    #[test]
+    fn repair_random_graphs_toward_delta() {
+        for seed in 0..5 {
+            let (g, witness) = generators::random_tripartite([15, 15, 15], 5, 80, seed);
+            let k = g.max_degree().max(3);
+            // Start from the witness but bump one vertex out of range.
+            let mut chi: Vec<usize> = witness.iter().map(|&c| c as usize).collect();
+            let v = NodeId(7);
+            let taken: Vec<usize> = g.neighbors(v).iter().map(|u| chi[u.index()]).collect();
+            let bad = (0..).find(|c| !taken.contains(c)).unwrap();
+            chi[v.index()] = bad.max(k); // force an out-of-range color
+            if !coloring::is_proper_coloring(&g, &chi) {
+                continue;
+            }
+            let ok = recolor_vertex(&g, &mut chi, v, k);
+            assert!(ok, "seed {seed}");
+            assert!(coloring::is_proper_k_coloring(&g, &chi, k));
+        }
+    }
+}

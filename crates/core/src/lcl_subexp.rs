@@ -1,0 +1,656 @@
+//! Contribution 1 (Section 4): solving **any** LCL with one bit of advice
+//! per node on graphs of sub-exponential growth.
+//!
+//! # Construction (following the paper, with our clustering)
+//!
+//! The encoder fixes a witness solution `ℓ`, clusters the graph around a
+//! ruling set, and writes into the 1-bit advice, per cluster:
+//!
+//! - a **center marker**: the empty-payload path code
+//!   (`11110110` + terminator) embedded along the deterministic induced
+//!   walk from the center ([`crate::onebit`] machinery) — this is how the
+//!   paper marks cluster centers with a recognizable pattern of `1`s;
+//! - the **seam labels**: the witness labels of all nodes whose radius-`r̄`
+//!   neighborhood crosses a cluster boundary (`r̄` = the LCL's
+//!   checkability radius), serialized in UID order and written one bit per
+//!   node onto the cluster's **data slots** — a greedy-by-UID maximal
+//!   independent set of interior nodes, excluding the marker walk and its
+//!   neighborhood. Exactly the paper's trick of storing the border
+//!   solution on an independent set deep inside the cluster, where
+//!   sub-exponential growth guarantees enough room (boundary ≪ volume).
+//!
+//! The decoder recognizes centers, reconstructs the (purely structural)
+//! clustering, data slots and seam sets, reads the seam labels, and
+//! completes its own cluster by the deterministic lexicographic
+//! brute-force of [`lad_lcl::brute`] — globally consistent because the
+//! seams are pinned to one global witness and every constraint is checked
+//! by exactly one cluster's completion.
+//!
+//! Sparsity: the `1`-density is `(9 + #seam-label bits) / |cluster|`,
+//! which drops as the cluster spacing grows — the paper's "arbitrarily
+//! sparse advice" knob (experiment E2).
+
+use crate::advice::AdviceMap;
+use crate::bits::{bit_width, decode_path_code, encode_path_code, BitString};
+use crate::error::{DecodeError, EncodeError};
+use crate::onebit::greedy_induced_walk;
+use crate::schema::AdviceSchema;
+use lad_graph::{ruling, Graph, InducedSubgraph, NodeId};
+use lad_lcl::brute::{complete, solve, CompleteError, Region};
+use lad_lcl::Lcl;
+use lad_runtime::{run_local_fallible, Ball, Network, RoundStats};
+use std::collections::VecDeque;
+
+/// Length of the center-marker code (empty payload).
+const MARKER_LEN: usize = 9;
+
+/// The 1-bit LCL schema for sub-exponential-growth graphs.
+pub struct LclSubexpSchema<'a> {
+    /// The LCL to solve (node-labeled: `edge_alphabet() == 1`).
+    pub lcl: &'a dyn Lcl,
+    /// Ruling-set spacing for the clustering. Larger = sparser advice,
+    /// more decode rounds, bigger brute-force completions.
+    pub cluster_spacing: usize,
+    /// Step budget for each brute-force completion.
+    pub completion_cap: u64,
+    /// Optional fast witness solver: the encoder is free to compute the
+    /// witness solution any way it likes (it is centralized and
+    /// unbounded); by default it brute-forces, which is fine for
+    /// one-dimensional instances but hopeless for, e.g., MIS on a large
+    /// torus. A returned witness is validated before use.
+    pub witness: Option<fn(&Network) -> Option<Vec<usize>>>,
+}
+
+impl<'a> LclSubexpSchema<'a> {
+    /// A schema for `lcl` with the given spacing.
+    ///
+    /// Spacing guidance: clusters must fit a 9-node marker walk *and*
+    /// `label-width × seam` data slots, so spacings below ~25 get cramped
+    /// near path endpoints and component boundaries; the encoder reports
+    /// any shortfall as [`EncodeError::PlacementFailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LCL carries edge labels (node-labeled LCLs only) or
+    /// `cluster_spacing < 4`.
+    pub fn new(lcl: &'a dyn Lcl, cluster_spacing: usize, completion_cap: u64) -> Self {
+        assert_eq!(
+            lcl.edge_alphabet(),
+            1,
+            "this schema handles node-labeled LCLs"
+        );
+        assert!(cluster_spacing >= 4, "spacing too small");
+        LclSubexpSchema {
+            lcl,
+            cluster_spacing,
+            completion_cap,
+            witness: None,
+        }
+    }
+
+    /// Sets a fast witness solver (see the field documentation).
+    pub fn with_witness(mut self, witness: fn(&Network) -> Option<Vec<usize>>) -> Self {
+        self.witness = Some(witness);
+        self
+    }
+
+    /// The decoder's view radius: far enough that every cluster owning a
+    /// pinned seam node lies fully inside the membership-trusted zone
+    /// (4 spacings: own center + neighbor cluster + its far side + trust
+    /// margin), plus the checkability radius and the marker length.
+    pub fn decode_radius(&self) -> usize {
+        4 * self.cluster_spacing + self.lcl.radius() + MARKER_LEN + 5
+    }
+
+    fn label_width(&self) -> usize {
+        bit_width(self.lcl.node_alphabet())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural computations shared verbatim by encoder and decoder.
+// ---------------------------------------------------------------------------
+
+/// Voronoi clustering: nearest center by `(distance, center uid)`.
+fn voronoi(g: &Graph, uids: &[u64], centers: &[NodeId]) -> Vec<Option<NodeId>> {
+    let mut best: Vec<Option<(usize, u64, NodeId)>> = vec![None; g.n()];
+    for &c in centers {
+        let dist = lad_graph::traversal::bfs_distances(g, c);
+        for v in g.nodes() {
+            if let Some(d) = dist[v.index()] {
+                let cand = (d, uids[c.index()], c);
+                if best[v.index()].is_none_or(|(bd, bu, _)| (cand.0, cand.1) < (bd, bu)) {
+                    best[v.index()] = Some(cand);
+                }
+            }
+        }
+    }
+    best.into_iter().map(|b| b.map(|(_, _, c)| c)).collect()
+}
+
+/// Seam nodes: within distance `rbar` of a node of a different cluster.
+fn seam_nodes(g: &Graph, cluster_of: &[Option<NodeId>], rbar: usize) -> Vec<bool> {
+    g.nodes()
+        .map(|v| {
+            let Some(my) = cluster_of[v.index()] else {
+                return false;
+            };
+            lad_graph::traversal::ball(g, v, rbar)
+                .into_iter()
+                .any(|(u, _)| cluster_of[u.index()] != Some(my))
+        })
+        .collect()
+}
+
+/// The per-cluster structural layout: marker walk, seam members (UID
+/// order), data slots (UID order).
+struct ClusterLayout {
+    members: Vec<NodeId>,
+    walk: Vec<NodeId>,
+    seam: Vec<NodeId>,
+    slots: Vec<NodeId>,
+}
+
+fn cluster_layout(
+    g: &Graph,
+    uids: &[u64],
+    cluster_of: &[Option<NodeId>],
+    seam: &[bool],
+    center: NodeId,
+    label_width: usize,
+) -> ClusterLayout {
+    let members: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| cluster_of[v.index()] == Some(center))
+        .collect();
+    let walk = greedy_induced_walk(g, uids, center, MARKER_LEN);
+    let marker = encode_path_code(&BitString::new());
+    let mut on_walk = vec![false; g.n()];
+    let mut near_walk = vec![false; g.n()];
+    let mut near_one_walk = vec![false; g.n()]; // adjacent to a 1-holding walk node
+    for (i, &w) in walk.iter().enumerate() {
+        on_walk[w.index()] = true;
+        near_walk[w.index()] = true;
+        for &u in g.neighbors(w) {
+            near_walk[u.index()] = true;
+            if i < marker.len() && marker.get(i) {
+                near_one_walk[u.index()] = true;
+            }
+        }
+    }
+    let mut seam_members: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&v| seam[v.index()])
+        .collect();
+    seam_members.sort_by_key(|&v| uids[v.index()]);
+    let interior = |v: NodeId| {
+        !seam[v.index()]
+            && g.neighbors(v)
+                .iter()
+                .all(|&u| cluster_of[u.index()] == Some(center))
+    };
+    // Tier 1: interior nodes away from the whole walk neighborhood.
+    let mut eligible: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&v| !near_walk[v.index()] && interior(v))
+        .collect();
+    eligible.sort_by_key(|&v| uids[v.index()]);
+    let needed = seam_members.len() * label_width;
+    let mut slots = ruling::greedy_mis_within(g, &eligible);
+    if slots.len() < needed {
+        // Tier 2 (cramped clusters, e.g. at path endpoints): additionally
+        // allow interior nodes adjacent to *0-holding* walk positions —
+        // still structural (the marker's bit pattern is a constant), still
+        // safe (data 1s never neighbor marker 1s).
+        let mut eligible2: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&v| !on_walk[v.index()] && !near_one_walk[v.index()] && interior(v))
+            .collect();
+        eligible2.sort_by_key(|&v| uids[v.index()]);
+        slots = ruling::greedy_mis_within(g, &eligible2);
+    }
+    ClusterLayout {
+        members,
+        walk,
+        seam: seam_members,
+        slots,
+    }
+}
+
+impl AdviceSchema for LclSubexpSchema<'_> {
+    type Output = Vec<usize>;
+
+    fn name(&self) -> String {
+        format!(
+            "lcl-subexp({}, spacing={})",
+            self.lcl.name(),
+            self.cluster_spacing
+        )
+    }
+
+    fn encode(&self, net: &Network) -> Result<AdviceMap, EncodeError> {
+        let g = net.graph();
+        let uids = net.uids();
+        // Witness solution: the fast solver if provided and valid, else
+        // deterministic brute force.
+        let fast = self.witness.and_then(|f| f(net)).filter(|labels| {
+            let labeling = lad_lcl::Labeling::from_node_labels(labels.clone(), g.m());
+            labels.len() == g.n()
+                && lad_lcl::verify::verify_centralized(net, self.lcl, &labeling).is_empty()
+        });
+        let witness = match fast {
+            Some(w) => w,
+            None => {
+                let (w, _) =
+                    solve(g, uids, self.lcl, self.completion_cap).map_err(|e| match e {
+                        CompleteError::NoSolution => EncodeError::SolutionDoesNotExist(format!(
+                            "{} has no solution",
+                            self.lcl.name()
+                        )),
+                        CompleteError::CapExceeded { cap } => EncodeError::SearchBudgetExceeded(
+                            format!("witness search cap {cap}"),
+                        ),
+                    })?;
+                w
+            }
+        };
+        // Clustering.
+        let centers = ruling::ruling_set(g, self.cluster_spacing);
+        let cluster_of = voronoi(g, uids, &centers);
+        let seam = seam_nodes(g, &cluster_of, self.lcl.radius());
+        let width = self.label_width();
+        let mut bits = vec![false; g.n()];
+        let marker = encode_path_code(&BitString::new());
+        debug_assert_eq!(marker.len(), MARKER_LEN);
+        for &c in &centers {
+            let layout = cluster_layout(g, uids, &cluster_of, &seam, c, width);
+            if layout.walk.len() < MARKER_LEN {
+                return Err(EncodeError::PlacementFailed(format!(
+                    "marker walk from {c} stuck after {} nodes",
+                    layout.walk.len()
+                )));
+            }
+            for (i, &w) in layout.walk.iter().enumerate() {
+                if marker.get(i) {
+                    bits[w.index()] = true;
+                }
+            }
+            // Seam labels onto data slots.
+            let needed = layout.seam.len() * width;
+            if layout.slots.len() < needed {
+                return Err(EncodeError::PlacementFailed(format!(
+                    "cluster of {c} has {} data slots but needs {needed} \
+                     (increase cluster_spacing)",
+                    layout.slots.len()
+                )));
+            }
+            let mut payload = BitString::new();
+            for &s in &layout.seam {
+                payload.push_uint(witness[s.index()] as u64, width);
+            }
+            for (i, &slot) in layout.slots.iter().take(needed).enumerate() {
+                if payload.get(i) {
+                    bits[slot.index()] = true;
+                }
+            }
+        }
+        let advice = AdviceMap::from_one_bit(&bits);
+        // Certification: the decoder must reproduce a valid solution.
+        let (labels, _) = self
+            .decode(net, &advice)
+            .map_err(|e| EncodeError::PlacementFailed(format!("self-decode failed: {e}")))?;
+        let labeling = lad_lcl::Labeling::from_node_labels(labels, g.m());
+        if !lad_lcl::verify::verify_centralized(net, self.lcl, &labeling).is_empty() {
+            return Err(EncodeError::PlacementFailed(
+                "self-decode produced an invalid solution".into(),
+            ));
+        }
+        Ok(advice)
+    }
+
+    fn decode(
+        &self,
+        net: &Network,
+        advice: &AdviceMap,
+    ) -> Result<(Vec<usize>, RoundStats), DecodeError> {
+        let g = net.graph();
+        if advice.n() != g.n() {
+            return Err(DecodeError::Inconsistent(
+                "advice covers a different node count".into(),
+            ));
+        }
+        let mut bits = Vec::with_capacity(g.n());
+        for v in g.nodes() {
+            let s = advice.get(v);
+            if s.len() != 1 {
+                return Err(DecodeError::malformed(v, "expected exactly one bit"));
+            }
+            bits.push(s.get(0));
+        }
+        let advised = net.with_inputs(bits);
+        let radius = self.decode_radius();
+        let (labels, stats) = run_local_fallible(&advised, |ctx| {
+            decode_at(
+                &ctx.ball(radius),
+                self.lcl,
+                self.cluster_spacing,
+                self.label_width(),
+                self.completion_cap,
+            )
+        })?;
+        Ok((labels, stats))
+    }
+}
+
+/// Decodes the output label of the center of `ball`.
+fn decode_at(
+    ball: &Ball<bool>,
+    lcl: &dyn Lcl,
+    spacing: usize,
+    width: usize,
+    cap: u64,
+) -> Result<usize, DecodeError> {
+    let g = ball.graph();
+    let uids = ball.uids();
+    let me = ball.global_node(ball.center());
+    let r = ball.radius();
+    let rbar = lcl.radius();
+    // 1. Detect cluster centers: 1-nodes whose structural marker walk
+    //    decodes to the empty payload. Reliable within r − MARKER_LEN − 1.
+    let detect_limit = r.saturating_sub(MARKER_LEN + 1);
+    let mut centers = Vec::new();
+    for w in g.nodes() {
+        if !*ball.input(w) || ball.dist(w) > detect_limit {
+            continue;
+        }
+        let walk = greedy_induced_walk(g, uids, w, MARKER_LEN);
+        if walk.len() < MARKER_LEN {
+            continue;
+        }
+        let read: BitString = walk.iter().map(|&x| *ball.input(x)).collect();
+        if decode_path_code(&read) == Some(BitString::new()) {
+            centers.push(w);
+        }
+    }
+    if centers.is_empty() {
+        return Err(DecodeError::malformed(me, "no cluster center in view"));
+    }
+    // 2. Clustering over the ball (trusted within r − spacing).
+    let cluster_of = voronoi(g, uids, &centers);
+    let trusted = |v: NodeId| ball.dist(v) + spacing < r && ball.knows_all_edges_of(v);
+    let my_center = cluster_of[ball.center().index()]
+        .ok_or_else(|| DecodeError::malformed(me, "unclustered node"))?;
+    // 3. Relevant clusters: mine plus any within rbar of my cluster.
+    //    Collect my cluster's members (trusted zone only).
+    let seam = seam_nodes(g, &cluster_of, rbar);
+    let my_layout = cluster_layout(g, uids, &cluster_of, &seam, my_center, width);
+    for &v in &my_layout.members {
+        if !trusted(v) {
+            return Err(DecodeError::malformed(me, "cluster exceeds trusted view"));
+        }
+    }
+    // Foreign seam nodes within rbar of my cluster.
+    let mut region_set: Vec<NodeId> = my_layout.members.clone();
+    let mut foreign: Vec<NodeId> = Vec::new();
+    {
+        let mut seen = vec![false; g.n()];
+        for &v in &my_layout.members {
+            seen[v.index()] = true;
+        }
+        let mut queue: VecDeque<(NodeId, usize)> =
+            my_layout.members.iter().map(|&v| (v, 0)).collect();
+        while let Some((v, d)) = queue.pop_front() {
+            if d == rbar {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    if !trusted(u) {
+                        return Err(DecodeError::malformed(me, "seam exceeds trusted view"));
+                    }
+                    foreign.push(u);
+                    queue.push_back((u, d + 1));
+                }
+            }
+        }
+    }
+    region_set.extend(foreign.iter().copied());
+    // 4. Read seam labels from every cluster that owns a pinned node.
+    let mut pinned_label: Vec<Option<usize>> = vec![None; g.n()];
+    let mut owning_centers: Vec<NodeId> = region_set
+        .iter()
+        .filter(|&&v| seam[v.index()])
+        .filter_map(|&v| cluster_of[v.index()])
+        .collect();
+    owning_centers.sort_unstable();
+    owning_centers.dedup();
+    for c in owning_centers {
+        let layout = cluster_layout(g, uids, &cluster_of, &seam, c, width);
+        // The layout is only valid if the whole owning cluster sits in the
+        // membership-trusted zone.
+        if layout.members.iter().any(|&v| !trusted(v)) {
+            return Err(DecodeError::malformed(
+                me,
+                "owning cluster exceeds trusted view",
+            ));
+        }
+        let needed = layout.seam.len() * width;
+        if layout.slots.len() < needed {
+            return Err(DecodeError::malformed(
+                ball.global_node(c),
+                "cluster has too few data slots",
+            ));
+        }
+        for (i, &s) in layout.seam.iter().enumerate() {
+            let mut label = 0usize;
+            for b in 0..width {
+                let slot = layout.slots[i * width + b];
+                if !trusted(slot) {
+                    return Err(DecodeError::malformed(me, "data slot outside trusted view"));
+                }
+                label = (label << 1) | usize::from(*ball.input(slot));
+            }
+            if label >= lcl.node_alphabet() {
+                return Err(DecodeError::malformed(
+                    ball.global_node(s),
+                    "seam label out of range",
+                ));
+            }
+            pinned_label[s.index()] = Some(label);
+        }
+    }
+    // 5. Deterministic completion of my cluster.
+    let mut region: Vec<NodeId> = region_set;
+    region.sort_by_key(|&v| uids[v.index()]);
+    let sub = InducedSubgraph::new(g, &region);
+    let sg = sub.graph();
+    let sub_uids: Vec<u64> = sub
+        .original_nodes()
+        .iter()
+        .map(|&v| uids[v.index()])
+        .collect();
+    let true_degree: Vec<usize> = sub
+        .original_nodes()
+        .iter()
+        .map(|&v| ball.global_degree(v))
+        .collect();
+    let mut pins: Vec<Option<usize>> = vec![None; sg.n()];
+    let mut check_nodes = Vec::new();
+    for lv in sg.nodes() {
+        let v = sub.to_original(lv);
+        if let Some(l) = pinned_label[v.index()] {
+            pins[lv.index()] = Some(l);
+        }
+        if cluster_of[v.index()] == Some(my_center) {
+            check_nodes.push(lv);
+        }
+    }
+    let (labels, _) = complete(
+        Region {
+            graph: sg,
+            uids: &sub_uids,
+            true_degree: &true_degree,
+            node_inputs: &[],
+        },
+        lcl,
+        &pins,
+        &vec![None; sg.m()],
+        &check_nodes,
+        cap,
+    )
+    .map_err(|e| DecodeError::malformed(me, format!("cluster completion failed: {e}")))?;
+    let my_local = sub
+        .to_local(ball.center())
+        .expect("center is in its own cluster");
+    Ok(labels[my_local.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_lcl::problems::{Mis, ProperColoring, WeakColoring};
+    use lad_lcl::{verify, Labeling};
+    use lad_graph::generators;
+
+    fn check(net: &Network, schema: &LclSubexpSchema<'_>) -> (AdviceMap, RoundStats) {
+        let advice = schema.encode(net).expect("encode");
+        assert_eq!(advice.max_bits(), 1, "one bit per node");
+        let (labels, stats) = schema.decode(net, &advice).expect("decode");
+        let labeling = Labeling::from_node_labels(labels, net.graph().m());
+        assert!(
+            verify::verify_centralized(net, schema.lcl, &labeling).is_empty(),
+            "decoded labeling invalid"
+        );
+        (advice, stats)
+    }
+
+    #[test]
+    fn three_coloring_of_long_cycle() {
+        let net = Network::with_identity_ids(generators::cycle(240));
+        let lcl = ProperColoring::new(3);
+        let schema = LclSubexpSchema::new(&lcl, 30, 5_000_000);
+        let (advice, stats) = check(&net, &schema);
+        // Sparse: markers + a few seam-label bits per 30-node cluster.
+        let ratio = advice.one_ratio().unwrap();
+        assert!(ratio < 0.35, "ones ratio {ratio}");
+        assert_eq!(stats.rounds(), schema.decode_radius());
+    }
+
+    #[test]
+    fn mis_on_long_path() {
+        let net = Network::with_identity_ids(generators::path(200));
+        let lcl = Mis;
+        let schema = LclSubexpSchema::new(&lcl, 28, 5_000_000);
+        check(&net, &schema);
+    }
+
+    #[test]
+    fn weak_coloring_on_cycle() {
+        let net = Network::with_identity_ids(generators::cycle(150));
+        let lcl = WeakColoring::new(2);
+        let schema = LclSubexpSchema::new(&lcl, 26, 5_000_000);
+        check(&net, &schema);
+    }
+
+    #[test]
+    fn sparsity_improves_with_spacing() {
+        let net = Network::with_identity_ids(generators::cycle(600));
+        let lcl = ProperColoring::new(3);
+        let tight = LclSubexpSchema::new(&lcl, 25, 5_000_000);
+        let loose = LclSubexpSchema::new(&lcl, 75, 5_000_000);
+        let r_tight = tight.encode(&net).unwrap().one_ratio().unwrap();
+        let r_loose = loose.encode(&net).unwrap().one_ratio().unwrap();
+        assert!(r_loose < r_tight, "{r_loose} !< {r_tight}");
+    }
+
+    #[test]
+    fn rounds_independent_of_n() {
+        let lcl = ProperColoring::new(3);
+        let schema = LclSubexpSchema::new(&lcl, 30, 5_000_000);
+        let mut rounds = Vec::new();
+        for n in [150usize, 450] {
+            let net = Network::with_identity_ids(generators::cycle(n));
+            let (_, stats) = check(&net, &schema);
+            rounds.push(stats.rounds());
+        }
+        assert_eq!(rounds[0], rounds[1]);
+    }
+
+    #[test]
+    fn mis_on_flat_grid_with_fast_witness() {
+        // A genuinely 2-dimensional sub-exponential-growth instance; the
+        // greedy witness replaces the hopeless whole-graph brute force.
+        let net = Network::with_identity_ids(generators::grid2d(20, 20, false));
+        let schema = LclSubexpSchema::new(&Mis, 16, 100_000_000).with_witness(|net| {
+            Some(lad_lcl::witness::greedy_mis_labels(net.graph(), net.uids()))
+        });
+        let advice = schema.encode(&net).expect("encode");
+        assert_eq!(advice.max_bits(), 1);
+        let (labels, _) = schema.decode(&net, &advice).expect("decode");
+        let labeling = Labeling::from_node_labels(labels, net.graph().m());
+        assert!(verify::verify_centralized(&net, &Mis, &labeling).is_empty());
+    }
+
+    #[test]
+    fn invalid_witness_is_ignored() {
+        // A witness function returning garbage must not poison the schema.
+        let net = Network::with_identity_ids(generators::cycle(120));
+        let lcl = ProperColoring::new(3);
+        let schema = LclSubexpSchema::new(&lcl, 24, 50_000_000)
+            .with_witness(|net| Some(vec![0; net.graph().n()]));
+        let advice = schema.encode(&net).expect("falls back to brute force");
+        let (labels, _) = schema.decode(&net, &advice).expect("decode");
+        let labeling = Labeling::from_node_labels(labels, net.graph().m());
+        assert!(verify::verify_centralized(&net, &lcl, &labeling).is_empty());
+    }
+
+    #[test]
+    fn unsolvable_lcl_is_rejected() {
+        // 2-coloring an odd cycle has no solution.
+        let net = Network::with_identity_ids(generators::cycle(61));
+        let lcl = ProperColoring::new(2);
+        let schema = LclSubexpSchema::new(&lcl, 20, 2_000_000);
+        let err = schema.encode(&net).unwrap_err();
+        assert!(matches!(err, EncodeError::SolutionDoesNotExist(_)));
+    }
+
+    #[test]
+    fn two_coloring_of_even_cycle_needs_global_consistency() {
+        // The hardest flavor: a globally-rigid problem (2-coloring) where
+        // the seams alone carry all the cross-cluster consistency.
+        let net = Network::with_identity_ids(generators::cycle(120));
+        let lcl = ProperColoring::new(2);
+        let schema = LclSubexpSchema::new(&lcl, 24, 2_000_000);
+        check(&net, &schema);
+    }
+
+    #[test]
+    fn tampered_bit_never_passes_silently() {
+        let net = Network::with_identity_ids(generators::cycle(120));
+        let lcl = ProperColoring::new(3);
+        let schema = LclSubexpSchema::new(&lcl, 24, 2_000_000);
+        let advice = schema.encode(&net).unwrap();
+        for flip in [3usize, 40, 90] {
+            let mut bits: Vec<bool> = (0..120)
+                .map(|i| advice.get(NodeId::from_index(i)).get(0))
+                .collect();
+            bits[flip] = !bits[flip];
+            let tampered = AdviceMap::from_one_bit(&bits);
+            match schema.decode(&net, &tampered) {
+                Err(_) => {}
+                Ok((labels, _)) => {
+                    // If decoding survived, the output must still be
+                    // verifiable — the locally-checkable-proof layer
+                    // (proofs.rs) would re-check it; here we just assert
+                    // that the library never claims success with garbage
+                    // labels out of range.
+                    assert!(labels.iter().all(|&l| l < 3));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The algorithmic Lovász Local Lemma: Moser–Tardos resampling.
+//!
+//! The paper invokes the LLL *existentially* twice — to shift orientation
+//! anchors apart along cycles (Section 5) and to select the 3-coloring
+//! parity groups so that no color-1 node touches two of them (Section 7).
+//! Because our encoder is an actual program, we need the *constructive*
+//! version: Moser–Tardos resampling, which under the LLL condition
+//! `e·p·d ≤ 1` terminates after an expected `O(#constraints)` resamplings.
+//!
+//! The solver is generic over any finite constraint system; schemas use it
+//! as a fallback when deterministic greedy placement fails.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// A finite constraint system over integer variables.
+pub trait ConstraintSystem {
+    /// Number of variables.
+    fn num_vars(&self) -> usize;
+    /// Domain size of variable `v` (values are `0..domain_size(v)`).
+    fn domain_size(&self, var: usize) -> usize;
+    /// Number of constraints ("bad events" are their negations).
+    fn num_constraints(&self) -> usize;
+    /// The variables constraint `c` depends on.
+    fn vars_of(&self, c: usize) -> Vec<usize>;
+    /// Whether constraint `c` holds under `assignment`.
+    fn is_satisfied(&self, c: usize, assignment: &[usize]) -> bool;
+}
+
+/// Moser–Tardos gave up within its resampling budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResampleBudgetExceeded {
+    /// The exhausted budget.
+    pub max_resamples: u64,
+}
+
+impl fmt::Display for ResampleBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Moser-Tardos did not converge within {} resamplings",
+            self.max_resamples
+        )
+    }
+}
+
+impl std::error::Error for ResampleBudgetExceeded {}
+
+/// Runs Moser–Tardos resampling: random initial assignment; while some
+/// constraint is violated, resample its variables uniformly.
+///
+/// Deterministic given `seed`. Returns a satisfying assignment.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::lll::{moser_tardos, FnSystem};
+///
+/// // Two variables over {0,1,2} that must differ.
+/// let sys = FnSystem::new(vec![3, 3], vec![vec![0, 1]], |_, a| a[0] != a[1]);
+/// let a = moser_tardos(&sys, 7, 1000).unwrap();
+/// assert_ne!(a[0], a[1]);
+/// ```
+///
+/// # Errors
+///
+/// [`ResampleBudgetExceeded`] after `max_resamples` resampling steps — on
+/// systems satisfying the LLL condition this is astronomically unlikely
+/// for any reasonable budget, but the caller stays in control.
+pub fn moser_tardos<S: ConstraintSystem>(
+    sys: &S,
+    seed: u64,
+    max_resamples: u64,
+) -> Result<Vec<usize>, ResampleBudgetExceeded> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut assignment: Vec<usize> = (0..sys.num_vars())
+        .map(|v| rng.random_range(0..sys.domain_size(v).max(1)))
+        .collect();
+    let m = sys.num_constraints();
+    let mut resamples = 0u64;
+    // Scan for violated constraints round-robin so progress is fair.
+    let mut start = 0usize;
+    loop {
+        let mut violated = None;
+        for off in 0..m {
+            let c = (start + off) % m.max(1);
+            if m > 0 && !sys.is_satisfied(c, &assignment) {
+                violated = Some(c);
+                break;
+            }
+        }
+        match violated {
+            None => return Ok(assignment),
+            Some(c) => {
+                resamples += 1;
+                if resamples > max_resamples {
+                    return Err(ResampleBudgetExceeded { max_resamples });
+                }
+                for v in sys.vars_of(c) {
+                    assignment[v] = rng.random_range(0..sys.domain_size(v).max(1));
+                }
+                start = (c + 1) % m;
+            }
+        }
+    }
+}
+
+/// A convenience constraint system built from closures.
+pub struct FnSystem<F, G> {
+    num_vars: usize,
+    domains: Vec<usize>,
+    constraint_vars: Vec<Vec<usize>>,
+    check: F,
+    _marker: std::marker::PhantomData<G>,
+}
+
+impl<F: Fn(usize, &[usize]) -> bool> FnSystem<F, ()> {
+    /// Builds a system with per-variable domains, per-constraint variable
+    /// lists, and a satisfaction predicate `check(constraint, assignment)`.
+    pub fn new(domains: Vec<usize>, constraint_vars: Vec<Vec<usize>>, check: F) -> Self {
+        FnSystem {
+            num_vars: domains.len(),
+            domains,
+            constraint_vars,
+            check,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<F: Fn(usize, &[usize]) -> bool> ConstraintSystem for FnSystem<F, ()> {
+    fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+    fn domain_size(&self, var: usize) -> usize {
+        self.domains[var]
+    }
+    fn num_constraints(&self) -> usize {
+        self.constraint_vars.len()
+    }
+    fn vars_of(&self, c: usize) -> Vec<usize> {
+        self.constraint_vars[c].clone()
+    }
+    fn is_satisfied(&self, c: usize, assignment: &[usize]) -> bool {
+        (self.check)(c, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_system_with_no_constraints() {
+        let sys = FnSystem::new(vec![2, 2, 2], vec![], |_, _| true);
+        let a = moser_tardos(&sys, 1, 10).unwrap();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn hypergraph_two_coloring() {
+        // 2-color 30 elements so that none of the random 5-element sets is
+        // monochromatic: a classic LLL instance (p = 2^-4, small overlap).
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let sets: Vec<Vec<usize>> = (0..40)
+            .map(|_| {
+                let mut s = Vec::new();
+                while s.len() < 5 {
+                    let x = rng.random_range(0..30usize);
+                    if !s.contains(&x) {
+                        s.push(x);
+                    }
+                }
+                s
+            })
+            .collect();
+        let sets2 = sets.clone();
+        let sys = FnSystem::new(vec![2; 30], sets, move |c, a| {
+            let colors: Vec<usize> = sets2[c].iter().map(|&v| a[v]).collect();
+            colors.iter().any(|&x| x == 0) && colors.iter().any(|&x| x == 1)
+        });
+        let a = moser_tardos(&sys, 99, 100_000).unwrap();
+        for c in 0..sys.num_constraints() {
+            assert!(sys.is_satisfied(c, &a));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_system_exhausts_budget() {
+        // A single constraint that can never hold.
+        let sys = FnSystem::new(vec![2], vec![vec![0]], |_, _| false);
+        let err = moser_tardos(&sys, 3, 50).unwrap_err();
+        assert_eq!(err.max_resamples, 50);
+    }
+
+    #[test]
+    fn determinism() {
+        let sys = FnSystem::new(vec![10; 5], vec![vec![0, 1], vec![2, 3]], |c, a| match c {
+            0 => a[0] != a[1],
+            _ => a[2] != a[3],
+        });
+        let a = moser_tardos(&sys, 42, 1000).unwrap();
+        let b = moser_tardos(&sys, 42, 1000).unwrap();
+        assert_eq!(a, b);
+    }
+}

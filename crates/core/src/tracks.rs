@@ -1,0 +1,195 @@
+//! Composing advice schemas by multiplexing per-node tracks (the Lemma-1
+//! side of the paper's composability framework, Section 9).
+//!
+//! Given schemas for `Π₁` and for `Π₂`-given-an-oracle-for-`Π₁`, the paper
+//! composes them into a schema for `Π₂`. Operationally, composition is
+//! simply: give every node the *concatenation* of its advice strings, in a
+//! self-delimiting format, and let the decoder split them back and run the
+//! component decoders in sequence (feeding each decoder the previous one's
+//! output). [`multiplex`] and [`demultiplex`] implement that format:
+//! each track is prefixed by its Elias-gamma-coded length.
+
+use crate::advice::AdviceMap;
+use crate::bits::{BitReader, BitString};
+use lad_graph::NodeId;
+
+/// Interleaves several advice maps into one: each node's string becomes
+/// `γ(len₁) track₁ γ(len₂) track₂ …`.
+///
+/// # Example
+///
+/// ```
+/// use lad_core::advice::AdviceMap;
+/// use lad_core::bits::BitString;
+/// use lad_core::tracks::{demultiplex, multiplex};
+///
+/// let mut a = AdviceMap::empty(2);
+/// a.set(lad_graph::NodeId(0), BitString::parse("10"));
+/// let b = AdviceMap::empty(2);
+/// let mux = multiplex(&[&a, &b]);
+/// let back = demultiplex(&mux, 2).unwrap();
+/// assert_eq!(back[0], a);
+/// assert_eq!(back[1], b);
+/// ```
+///
+/// Nodes holding no bits in any track receive the all-lengths-zero header
+/// compressed away: if *every* track is empty at a node, the node's string
+/// is empty (so sparsity is preserved).
+///
+/// # Panics
+///
+/// Panics if the maps cover different node counts or `maps` is empty.
+pub fn multiplex(maps: &[&AdviceMap]) -> AdviceMap {
+    assert!(!maps.is_empty(), "need at least one track");
+    let n = maps[0].n();
+    assert!(maps.iter().all(|m| m.n() == n), "node counts must match");
+    let mut out = AdviceMap::empty(n);
+    for i in 0..n {
+        let v = NodeId::from_index(i);
+        if maps.iter().all(|m| m.get(v).is_empty()) {
+            continue;
+        }
+        let mut s = BitString::new();
+        for m in maps {
+            let t = m.get(v);
+            s.push_gamma(t.len() as u64);
+            s.extend(t);
+        }
+        out.set(v, s);
+    }
+    out
+}
+
+/// Splits a multiplexed map back into `count` tracks.
+///
+/// Returns `None` if any node's string is malformed (tamper detection).
+pub fn demultiplex(map: &AdviceMap, count: usize) -> Option<Vec<AdviceMap>> {
+    let n = map.n();
+    let mut tracks = vec![AdviceMap::empty(n); count];
+    for i in 0..n {
+        let v = NodeId::from_index(i);
+        let s = map.get(v);
+        if s.is_empty() {
+            continue;
+        }
+        let mut r = BitReader::new(s);
+        for track in tracks.iter_mut() {
+            let len = r.read_gamma()? as usize;
+            let mut t = BitString::new();
+            for _ in 0..len {
+                t.push(r.read_bit()?);
+            }
+            track.set(v, t);
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+    }
+    Some(tracks)
+}
+
+/// Splits *one node's* multiplexed string into `count` tracks — the form a
+/// LOCAL decoder uses on strings it reads out of its ball view.
+pub fn demultiplex_one(s: &BitString, count: usize) -> Option<Vec<BitString>> {
+    if s.is_empty() {
+        return Some(vec![BitString::new(); count]);
+    }
+    let mut r = BitReader::new(s);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = r.read_gamma()? as usize;
+        let mut t = BitString::new();
+        for _ in 0..len {
+            t.push(r.read_bit()?);
+        }
+        out.push(t);
+    }
+    (r.remaining() == 0).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(strs: &[&str]) -> AdviceMap {
+        AdviceMap::from_strings(strs.iter().map(|s| BitString::parse(s)).collect())
+    }
+
+    fn map_with_empties(strs: &[&str]) -> AdviceMap {
+        AdviceMap::from_strings(
+            strs.iter()
+                .map(|s| {
+                    if s.is_empty() {
+                        BitString::new()
+                    } else {
+                        BitString::parse(s)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_two_tracks() {
+        let a = map_with_empties(&["10", "", "1"]);
+        let b = map_with_empties(&["", "011", "0"]);
+        let mux = multiplex(&[&a, &b]);
+        let tracks = demultiplex(&mux, 2).unwrap();
+        assert_eq!(tracks[0], a);
+        assert_eq!(tracks[1], b);
+    }
+
+    #[test]
+    fn empty_everywhere_stays_empty() {
+        let a = AdviceMap::empty(4);
+        let b = AdviceMap::empty(4);
+        let mux = multiplex(&[&a, &b]);
+        assert_eq!(mux.total_bits(), 0);
+    }
+
+    #[test]
+    fn sparsity_preserved() {
+        let mut a = AdviceMap::empty(100);
+        a.set(NodeId(7), BitString::parse("110"));
+        let b = AdviceMap::empty(100);
+        let mux = multiplex(&[&a, &b]);
+        assert_eq!(mux.holders().collect::<Vec<_>>(), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn demultiplex_one_node() {
+        let a = map(&["101"]);
+        let b = map(&["0"]);
+        let mux = multiplex(&[&a, &b]);
+        let parts = demultiplex_one(mux.get(NodeId(0)), 2).unwrap();
+        assert_eq!(parts[0].to_string(), "101");
+        assert_eq!(parts[1].to_string(), "0");
+        // Empty string yields empty tracks.
+        let parts = demultiplex_one(&BitString::new(), 3).unwrap();
+        assert!(parts.iter().all(BitString::is_empty));
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let a = map(&["101"]);
+        let b = map(&["0"]);
+        let mut mux = multiplex(&[&a, &b]);
+        // Append a stray bit.
+        let mut s = mux.get(NodeId(0)).clone();
+        s.push(true);
+        mux.set(NodeId(0), s);
+        assert!(demultiplex(&mux, 2).is_none());
+    }
+
+    #[test]
+    fn three_tracks() {
+        let a = map_with_empties(&["1", ""]);
+        let b = map_with_empties(&["", "00"]);
+        let c = map_with_empties(&["111", "1"]);
+        let mux = multiplex(&[&a, &b, &c]);
+        let tracks = demultiplex(&mux, 3).unwrap();
+        assert_eq!(tracks[0], a);
+        assert_eq!(tracks[1], b);
+        assert_eq!(tracks[2], c);
+    }
+}

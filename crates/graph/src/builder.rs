@@ -1,0 +1,207 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// A mutable builder producing an immutable [`Graph`].
+///
+/// Self-loops are rejected; duplicate edges are silently deduplicated
+/// (see [`GraphBuilder::add_edge`]'s return value to detect duplicates).
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(2);
+/// assert!(b.add_edge(NodeId(0), NodeId(1)));
+/// assert!(!b.add_edge(NodeId(1), NodeId(0))); // duplicate
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes the graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the node count to at least `n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "endpoint out of range: {u:?}, {v:?} with n = {}",
+            self.n
+        );
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.insert(key)
+    }
+
+    /// Whether `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Removes the edge `{u, v}` if present; returns whether it was present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.remove(&key)
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let edges: Vec<(NodeId, NodeId)> = self.edges.into_iter().collect();
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let total = offsets[n];
+        let mut neighbors = vec![NodeId(0); total];
+        let mut slot_edges = vec![EdgeId(0); total];
+        let mut fill = offsets.clone();
+        // `edges` is sorted by (min, max); inserting in this order produces
+        // sorted lists for the `min` endpoints but not for the `max`
+        // endpoints, so we insert then sort each list with its edge ids.
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let e = EdgeId::from_index(i);
+            neighbors[fill[u.index()]] = v;
+            slot_edges[fill[u.index()]] = e;
+            fill[u.index()] += 1;
+            neighbors[fill[v.index()]] = u;
+            slot_edges[fill[v.index()]] = e;
+            fill[v.index()] += 1;
+        }
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut pairs: Vec<(NodeId, EdgeId)> = neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(slot_edges[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (k, (nb, e)) in pairs.into_iter().enumerate() {
+                neighbors[range.start + k] = nb;
+                slot_edges[range.start + k] = e;
+            }
+        }
+        Graph::from_parts(offsets, neighbors, slot_edges, edges)
+    }
+}
+
+/// Builds a graph directly from an edge list over `n` nodes.
+///
+/// # Panics
+///
+/// Panics on self-loops or out-of-range endpoints.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{builder::from_edges, NodeId};
+/// let g = from_edges(3, [(0, 1), (1, 2)]);
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_remove() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(NodeId(0), NodeId(1)));
+        assert!(!b.add_edge(NodeId(1), NodeId(0)));
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+        assert!(b.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!b.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(b.build().m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut b = GraphBuilder::new(1);
+        b.ensure_nodes(4);
+        b.add_edge(NodeId(0), NodeId(3));
+        let g = b.build();
+        assert_eq!(g.n(), 4);
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn from_edges_works() {
+        let g = from_edges(4, [(0, 1), (2, 3), (1, 2)]);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn csr_consistency_on_star() {
+        let g = from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.total_slots(), 8);
+        // Every edge id appears exactly twice across slots.
+        let mut counts = vec![0; g.m()];
+        for v in g.nodes() {
+            for &e in g.incident_edges(v) {
+                counts[e.index()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+}

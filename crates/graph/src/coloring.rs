@@ -1,0 +1,224 @@
+//! Centralized coloring utilities: greedy colorings, distance-`k`
+//! colorings, proper-coloring checks, bipartition, and the "greedy-ification"
+//! fix-up used by the 3-coloring schema (Section 7).
+
+use crate::graph::{Graph, NodeId};
+use crate::power::power_graph;
+
+/// A proper vertex coloring with colors `0 ..` computed greedily in the
+/// given node order; each node takes the smallest color unused by its
+/// already-colored neighbors. Uses at most `Δ + 1` colors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the nodes.
+pub fn greedy_coloring(g: &Graph, order: &[NodeId]) -> Vec<usize> {
+    assert_eq!(order.len(), g.n(), "order must cover all nodes");
+    let mut color = vec![usize::MAX; g.n()];
+    for &v in order {
+        assert!(
+            color[v.index()] == usize::MAX,
+            "order must not repeat nodes"
+        );
+        let mut used: Vec<usize> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| color[u.index()])
+            .filter(|&c| c != usize::MAX)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 0;
+        for u in used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        color[v.index()] = c;
+    }
+    color
+}
+
+/// Greedy coloring in node-index order.
+pub fn greedy_coloring_default(g: &Graph) -> Vec<usize> {
+    let order: Vec<NodeId> = g.nodes().collect();
+    greedy_coloring(g, &order)
+}
+
+/// A *distance-`k`* coloring: nodes at distance `≤ k` receive different
+/// colors (i.e., a proper coloring of `G^k`). Greedy, so it uses at most
+/// `Δ(G^k) + 1` colors.
+pub fn distance_k_coloring(g: &Graph, k: usize) -> Vec<usize> {
+    let gp = power_graph(g, k);
+    greedy_coloring_default(&gp)
+}
+
+/// Whether `color` is a proper vertex coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, color: &[usize]) -> bool {
+    color.len() == g.n()
+        && g.edges()
+            .all(|(_, (u, v))| color[u.index()] != color[v.index()])
+}
+
+/// Whether `color` is a proper coloring with all colors `< k`.
+pub fn is_proper_k_coloring(g: &Graph, color: &[usize], k: usize) -> bool {
+    is_proper_coloring(g, color) && color.iter().all(|&c| c < k)
+}
+
+/// Number of distinct colors used.
+pub fn color_count(color: &[usize]) -> usize {
+    let mut cs: Vec<usize> = color.to_vec();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+/// A 2-coloring (bipartition) of each connected component, or `None` if the
+/// graph has an odd cycle. Colors are `0`/`1`; in each component the
+/// smallest-index node gets color `0`.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut color = vec![u8::MAX; g.n()];
+    for s in g.nodes() {
+        if color[s.index()] != u8::MAX {
+            continue;
+        }
+        color[s.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if color[u.index()] == u8::MAX {
+                    color[u.index()] = 1 - color[v.index()];
+                    queue.push_back(u);
+                } else if color[u.index()] == color[v.index()] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Turns a proper coloring with colors `{0, …, k-1}` into a *greedy* proper
+/// coloring in the paper's sense (Section 7): every node of color `i` has,
+/// for each `j < i`, at least one neighbor of color `j`.
+///
+/// Works by repeatedly demoting nodes whose color can be lowered; terminates
+/// because the sum of colors strictly decreases.
+///
+/// # Panics
+///
+/// Panics if `color` is not a proper coloring of `g`.
+pub fn make_greedy(g: &Graph, color: &[usize]) -> Vec<usize> {
+    assert!(is_proper_coloring(g, color), "input must be proper");
+    let mut color = color.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in g.nodes() {
+            let mut used = vec![false; color[v.index()] + 1];
+            for &u in g.neighbors(v) {
+                let cu = color[u.index()];
+                if cu < used.len() {
+                    used[cu] = true;
+                }
+            }
+            let lowest_free = (0..color[v.index()]).find(|&c| !used[c]);
+            if let Some(c) = lowest_free {
+                color[v.index()] = c;
+                changed = true;
+            }
+        }
+    }
+    debug_assert!(is_greedy_coloring(g, &color));
+    color
+}
+
+/// Whether the coloring is greedy in the paper's sense: each node of color
+/// `i` has neighbors of all colors `< i`.
+pub fn is_greedy_coloring(g: &Graph, color: &[usize]) -> bool {
+    if !is_proper_coloring(g, color) {
+        return false;
+    }
+    g.nodes().all(|v| {
+        let cv = color[v.index()];
+        (0..cv).all(|j| g.neighbors(v).iter().any(|&u| color[u.index()] == j))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_is_proper_and_bounded() {
+        for seed in 0..5 {
+            let g = generators::random_bounded_degree(100, 6, 200, seed);
+            let c = greedy_coloring_default(&g);
+            assert!(is_proper_coloring(&g, &c));
+            assert!(c.iter().all(|&x| x <= g.max_degree()));
+        }
+    }
+
+    #[test]
+    fn distance_k_coloring_separates_balls() {
+        let g = generators::cycle(12);
+        let c = distance_k_coloring(&g, 3);
+        for v in g.nodes() {
+            for (u, d) in crate::traversal::ball(&g, v, 3) {
+                if d >= 1 {
+                    assert_ne!(c[v.index()], c[u.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bipartition_of_even_cycle() {
+        let g = generators::cycle(8);
+        let c = bipartition(&g).unwrap();
+        for (_, (u, v)) in g.edges() {
+            assert_ne!(c[u.index()], c[v.index()]);
+        }
+        assert_eq!(c[0], 0);
+    }
+
+    #[test]
+    fn bipartition_rejects_odd_cycle() {
+        assert!(bipartition(&generators::cycle(7)).is_none());
+    }
+
+    #[test]
+    fn make_greedy_properties() {
+        let (g, witness) = generators::random_tripartite([20, 20, 20], 6, 120, 5);
+        let color: Vec<usize> = witness.iter().map(|&c| c as usize).collect();
+        let greedy = make_greedy(&g, &color);
+        assert!(is_greedy_coloring(&g, &greedy));
+        assert!(greedy.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn is_greedy_detects_violations() {
+        let g = generators::path(3);
+        // Proper but not greedy: middle node colored 2 with no 1-neighbor...
+        // path 0-1-2 colored [0, 2, 0]: node 1 has color 2 but no neighbor of color 1.
+        assert!(!is_greedy_coloring(&g, &[0, 2, 0]));
+        assert!(is_greedy_coloring(&g, &[0, 1, 0]));
+    }
+
+    #[test]
+    fn color_count_works() {
+        assert_eq!(color_count(&[0, 2, 2, 5]), 3);
+        assert_eq!(color_count(&[]), 0);
+    }
+
+    #[test]
+    fn k_coloring_check() {
+        let g = generators::cycle(6);
+        assert!(is_proper_k_coloring(&g, &[0, 1, 0, 1, 0, 1], 2));
+        assert!(!is_proper_k_coloring(&g, &[0, 1, 0, 1, 0, 1], 1));
+        assert!(!is_proper_k_coloring(&g, &[0, 0, 0, 1, 0, 1], 2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Degeneracy orderings and bounded-out-degree orientations.
+//!
+//! The paper's Open Question 4 notes that deleting one edge per connected
+//! component of a 3-regular graph leaves a 2-degenerate graph, from which
+//! a 2-bits-per-node edge-subset encoding "follows from 2-degeneracy" —
+//! the underlying primitive being an acyclic orientation with out-degree
+//! at most the degeneracy. This module provides that primitive (plus the
+//! standard peeling computation of the degeneracy itself), as a substrate
+//! for experimenting with the open question.
+
+use crate::graph::{Graph, NodeId};
+use crate::orientation::Orientation;
+
+/// The degeneracy ordering (smallest-degree-last peeling) and the
+/// degeneracy `d`: every node has at most `d` neighbors *later* in the
+/// returned order.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    for _ in 0..n {
+        // Smallest current degree, ties by node index (deterministic).
+        let v = g
+            .nodes()
+            .filter(|&v| !removed[v.index()])
+            .min_by_key(|&v| (degree[v.index()], v))
+            .expect("nodes remain");
+        degeneracy = degeneracy.max(degree[v.index()]);
+        removed[v.index()] = true;
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u.index()] {
+                degree[u.index()] -= 1;
+            }
+        }
+    }
+    // `order` currently lists peeled nodes first; the conventional
+    // statement orients each node toward later (higher-coreness) nodes,
+    // which is exactly this order.
+    (order, degeneracy)
+}
+
+/// The degeneracy (coreness) of the graph.
+pub fn degeneracy(g: &Graph) -> usize {
+    degeneracy_ordering(g).1
+}
+
+/// An acyclic orientation with out-degree at most the degeneracy: every
+/// edge points from the earlier node of the peeling order to the later.
+pub fn degeneracy_orientation(g: &Graph) -> Orientation {
+    let (order, _) = degeneracy_ordering(g);
+    let mut position = vec![0usize; g.n()];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut o = Orientation::new(g.m());
+    for (e, (u, v)) in g.edges() {
+        if position[u.index()] < position[v.index()] {
+            o.set(g, e, u, v);
+        } else {
+            o.set(g, e, v, u);
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trees_are_one_degenerate() {
+        assert_eq!(degeneracy(&generators::random_tree(40, 1)), 1);
+        assert_eq!(degeneracy(&generators::path(10)), 1);
+        assert_eq!(degeneracy(&generators::star(6)), 1);
+    }
+
+    #[test]
+    fn cycles_are_two_degenerate() {
+        assert_eq!(degeneracy(&generators::cycle(11)), 2);
+        assert_eq!(degeneracy(&generators::grid2d(5, 5, false)), 2);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        assert_eq!(degeneracy(&generators::complete(6)), 5);
+    }
+
+    #[test]
+    fn orientation_out_degree_bounded_by_degeneracy() {
+        for seed in 0..5 {
+            let g = generators::random_bounded_degree(60, 7, 140, seed);
+            let d = degeneracy(&g);
+            let o = degeneracy_orientation(&g);
+            for v in g.nodes() {
+                assert!(o.out_degree(&g, v) <= d, "node {v} exceeds degeneracy {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_question_4_setup() {
+        // A 3-regular graph minus one edge per component is 2-degenerate —
+        // the premise of the paper's Open Question 4.
+        let g = generators::random_bipartite_regular(12, 3, 3);
+        assert_eq!(degeneracy(&g), 3);
+        let (comp, count) = crate::traversal::connected_components(&g);
+        let mut b = crate::builder::GraphBuilder::new(g.n());
+        let mut deleted = vec![false; count];
+        for (_, (u, v)) in g.edges() {
+            let c = comp[u.index()];
+            if !deleted[c] {
+                deleted[c] = true; // drop the first edge of each component
+                continue;
+            }
+            b.add_edge(u, v);
+        }
+        let pruned = b.build();
+        assert!(degeneracy(&pruned) <= 2);
+        let o = degeneracy_orientation(&pruned);
+        assert!(pruned.nodes().all(|v| o.out_degree(&pruned, v) <= 2));
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz DOT export — for eyeballing schemas: advice bits, colors, and
+//! orientations render directly.
+
+use crate::graph::{Graph, NodeId};
+use crate::orientation::Orientation;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Per-node label (e.g., `uid` or advice bits); defaults to the index.
+    pub node_labels: Vec<String>,
+    /// Nodes to fill (e.g., advice `1`-holders).
+    pub highlight: Vec<NodeId>,
+    /// Optional orientation: renders a digraph instead of a graph.
+    pub orientation: Option<Orientation>,
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{dot, generators};
+/// let g = generators::path(3);
+/// let s = dot::to_dot(&g, &dot::DotOptions::default());
+/// assert!(s.starts_with("graph {"));
+/// assert!(s.contains("v0 -- v1"));
+/// ```
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let directed = opts.orientation.is_some();
+    let (header, arrow) = if directed {
+        ("digraph {", "->")
+    } else {
+        ("graph {", "--")
+    };
+    let mut highlighted = vec![false; g.n()];
+    for &v in &opts.highlight {
+        highlighted[v.index()] = true;
+    }
+    out.push_str(header);
+    out.push('\n');
+    for v in g.nodes() {
+        let label = opts
+            .node_labels
+            .get(v.index())
+            .cloned()
+            .unwrap_or_else(|| v.index().to_string());
+        let style = if highlighted[v.index()] {
+            ", style=filled, fillcolor=gold"
+        } else {
+            ""
+        };
+        writeln!(out, "  v{} [label=\"{}\"{}];", v.index(), label, style)
+            .expect("writing to a String cannot fail");
+    }
+    for (e, (u, v)) in g.edges() {
+        let (a, b) = match &opts.orientation {
+            Some(o) => (o.tail(g, e), o.head(g, e)),
+            None => (u, v),
+        };
+        writeln!(out, "  v{} {} v{};", a.index(), arrow, b.index())
+            .expect("writing to a String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, EulerPartition};
+
+    #[test]
+    fn undirected_dot() {
+        let g = generators::cycle(3);
+        let s = to_dot(&g, &DotOptions::default());
+        assert!(s.starts_with("graph {"));
+        assert_eq!(s.matches("--").count(), 3);
+        assert!(s.contains("v0 [label=\"0\"];"));
+    }
+
+    #[test]
+    fn directed_dot_with_orientation() {
+        let g = generators::cycle(4);
+        let uids: Vec<u64> = (1..=4).collect();
+        let o = EulerPartition::new(&g, &uids).orient_all_forward(&g);
+        let s = to_dot(
+            &g,
+            &DotOptions {
+                orientation: Some(o),
+                ..Default::default()
+            },
+        );
+        assert!(s.starts_with("digraph {"));
+        assert_eq!(s.matches("->").count(), 4);
+    }
+
+    #[test]
+    fn highlights_and_labels() {
+        let g = generators::path(2);
+        let s = to_dot(
+            &g,
+            &DotOptions {
+                node_labels: vec!["a".into(), "b".into()],
+                highlight: vec![NodeId(1)],
+                orientation: None,
+            },
+        );
+        assert!(s.contains("label=\"a\""));
+        assert!(s.contains("fillcolor=gold"));
+    }
+}

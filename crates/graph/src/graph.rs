@@ -1,0 +1,404 @@
+//! The immutable graph type used throughout the workspace.
+//!
+//! [`Graph`] is a simple undirected graph stored in compressed-sparse-row
+//! form. Neighbor lists are sorted by node index, which gives every
+//! algorithm in the workspace a deterministic iteration order — the
+//! encoder/decoder pairs of the advice schemas rely on this determinism.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`] (`0 ..= n-1`).
+///
+/// This is a *topological* index, distinct from the LOCAL-model unique
+/// identifier (see [`crate::ids::IdAssignment`]). Algorithms that must be
+/// ID-based (as in the paper) should always go through an `IdAssignment`.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node index as a `usize`, for indexing into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of an undirected edge in a [`Graph`] (`0 ..= m-1`).
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{generators, EdgeId};
+/// let g = generators::path(3);
+/// let (u, v) = g.endpoints(EdgeId(0));
+/// assert!(u < v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the edge index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Construct one with [`crate::GraphBuilder`] or a function from
+/// [`crate::generators`].
+///
+/// Neighbor lists are sorted by node index and parallel edges/self-loops are
+/// rejected at build time, so iteration order is canonical.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets: `offsets[v] .. offsets[v+1]` is the adjacency range of `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<NodeId>,
+    /// For each adjacency slot, the id of the undirected edge it belongs to.
+    slot_edges: Vec<EdgeId>,
+    /// Endpoint pairs, `(min, max)` by node index, sorted lexicographically.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        slot_edges: Vec<EdgeId>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        Graph {
+            offsets,
+            neighbors,
+            slot_edges,
+            edges,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all node ids, `v0 ..= v(n-1)`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.m()).map(EdgeId::from_index)
+    }
+
+    /// Iterates over all edges as `(EdgeId, (u, v))` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (NodeId, NodeId))> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (EdgeId::from_index(i), e))
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree of the graph (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The edge ids incident to `v`, parallel to [`Graph::neighbors`].
+    ///
+    /// `incident_edges(v)[i]` is the edge `{v, neighbors(v)[i]}`.
+    #[inline]
+    pub fn incident_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.slot_edges[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "{v:?} is not an endpoint of {e:?}");
+            a
+        }
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// The edge id of `{u, v}` if present. `O(log deg)`.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v || u.index() >= self.n() || v.index() >= self.n() {
+            return None;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let ns = self.neighbors(a);
+        ns.binary_search(&b)
+            .ok()
+            .map(|i| self.incident_edges(a)[i])
+    }
+
+    /// The *port* of `u` towards `v`: the index of `v` in `u`'s sorted
+    /// neighbor list, or `None` if they are not adjacent.
+    ///
+    /// Ports give nodes a canonical local numbering of their incident edges,
+    /// as the LOCAL model assumes.
+    pub fn port(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.neighbors(u).binary_search(&v).ok()
+    }
+
+    /// The index of edge `e` within `v`'s incident-edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn slot_of_edge(&self, v: NodeId, e: EdgeId) -> usize {
+        let u = self.other_endpoint(e, v);
+        self.port(v, u).expect("endpoint must be adjacent")
+    }
+
+    /// Total number of adjacency slots (`2m`).
+    #[inline]
+    pub fn total_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether every node has even degree.
+    pub fn all_degrees_even(&self) -> bool {
+        self.nodes().all(|v| self.degree(v) % 2 == 0)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph {{ n: {}, m: {} }}", self.n(), self.m())
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph on {} nodes, {} edges", self.n(), self.m())?;
+        for v in self.nodes() {
+            writeln!(f, "  {v}: {:?}", self.neighbors(v))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(format!("{}", NodeId(5)), "v5");
+        assert_eq!(format!("{:?}", EdgeId(2)), "e2");
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.all_degrees_even());
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(2), NodeId(0));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.add_edge(NodeId(2), NodeId(1));
+        let g = b.build();
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn edge_between_and_ports() {
+        let g = triangle();
+        let e = g.edge_between(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(2)));
+        assert_eq!(g.other_endpoint(e, NodeId(0)), NodeId(2));
+        assert_eq!(g.other_endpoint(e, NodeId(2)), NodeId(0));
+        assert!(g.edge_between(NodeId(0), NodeId(0)).is_none());
+        assert_eq!(g.port(NodeId(0), NodeId(2)), Some(1));
+        assert_eq!(g.port(NodeId(0), NodeId(1)), Some(0));
+        assert_eq!(g.slot_of_edge(NodeId(0), e), 1);
+    }
+
+    #[test]
+    fn incident_edges_parallel_to_neighbors() {
+        let g = triangle();
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            let es = g.incident_edges(v);
+            assert_eq!(ns.len(), es.len());
+            for (i, &u) in ns.iter().enumerate() {
+                assert_eq!(g.other_endpoint(es[i], v), u);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.all_degrees_even());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        for v in g.nodes() {
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_endpoint_panics_on_non_endpoint() {
+        let g = triangle();
+        let e = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        g.other_endpoint(e, NodeId(2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Neighborhood growth measurement and the `α`-search of the paper's
+//! Lemma 4.3 (Section 4).
+//!
+//! A family has *sub-exponential growth* (Definition 4.2) if for every
+//! `c > 0` there is `x₀` with `|N_{≤x}(v)| ≤ 2^{c·x}` for all `x ≥ x₀`.
+//! Lemma 4.3 then guarantees, for every node `v`, some `α ∈ {x, …, 2x}`
+//! with `|N_{≤α}(v)| ≥ Δʳ · |N_{=α+r}(v)|` — a radius at which the ball
+//! dwarfs its boundary sphere. The clustering of Contribution 1 is built
+//! around these radii.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal;
+
+/// The ball sizes `|N_{≤d}(v)|` for `d = 0, …, r`.
+pub fn ball_sizes(g: &Graph, v: NodeId, r: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; r + 1];
+    for (_, d) in traversal::ball(g, v, r) {
+        sizes[d] += 1;
+    }
+    // Prefix sums: sizes[d] currently counts the sphere at distance d.
+    for d in 1..=r {
+        sizes[d] += sizes[d - 1];
+    }
+    sizes
+}
+
+/// The sphere sizes `|N_{=d}(v)|` for `d = 0, …, r`.
+pub fn sphere_sizes(g: &Graph, v: NodeId, r: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; r + 1];
+    for (_, d) in traversal::ball(g, v, r) {
+        sizes[d] += 1;
+    }
+    sizes
+}
+
+/// Empirical growth rate: the maximum over nodes of
+/// `log2(|N_{≤x}(v)|) / x` — the family is sub-exponential when this decays
+/// with `x`.
+pub fn growth_exponent(g: &Graph, x: usize) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    g.nodes()
+        .map(|v| {
+            let b = ball_sizes(g, v, x)[x] as f64;
+            b.log2() / x as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The Lemma-4.3 search: the smallest `α ∈ {x, …, 2x}` satisfying
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{generators, growth, NodeId};
+/// let g = generators::cycle(100);
+/// // On a cycle, |N_{≤α}| = 2α+1 vs a 2-node boundary sphere.
+/// let alpha = growth::find_alpha(&g, NodeId(0), 8, 2, 4).unwrap();
+/// assert!((8..=16).contains(&alpha));
+/// ```
+///
+/// The inequality:
+/// `|N_{≤α}(v)| ≥ threshold · |N_{=α+r}(v)|`, where the paper takes
+/// `threshold = Δʳ`.
+///
+/// Returns `None` if no radius in range satisfies the inequality (which
+/// Lemma 4.3 rules out for genuinely sub-exponential families with the
+/// right constants, but can happen for aggressive `threshold` on small
+/// instances).
+pub fn find_alpha(
+    g: &Graph,
+    v: NodeId,
+    x: usize,
+    r: usize,
+    threshold: usize,
+) -> Option<usize> {
+    let spheres = sphere_sizes(g, v, 2 * x + r);
+    let mut ball = 0usize;
+    let mut alpha_found = None;
+    let mut prefix = vec![0usize; spheres.len() + 1];
+    for (d, &s) in spheres.iter().enumerate() {
+        ball += s;
+        prefix[d + 1] = ball;
+    }
+    for alpha in x..=2 * x {
+        let ball_a = prefix[alpha + 1];
+        let boundary = spheres.get(alpha + r).copied().unwrap_or(0);
+        if ball_a >= threshold * boundary {
+            alpha_found = Some(alpha);
+            break;
+        }
+    }
+    alpha_found
+}
+
+/// Like [`find_alpha`] but never fails: falls back to the `α ∈ {x, …, 2x}`
+/// maximizing the ratio `|N_{≤α}| / max(1, |N_{=α+r}|)`.
+pub fn find_alpha_or_best(g: &Graph, v: NodeId, x: usize, r: usize, threshold: usize) -> usize {
+    if let Some(a) = find_alpha(g, v, x, r, threshold) {
+        return a;
+    }
+    let spheres = sphere_sizes(g, v, 2 * x + r);
+    let mut prefix = vec![0usize; spheres.len() + 1];
+    for (d, &s) in spheres.iter().enumerate() {
+        prefix[d + 1] = prefix[d] + s;
+    }
+    (x..=2 * x)
+        .max_by(|&a, &b| {
+            let ra = prefix[a + 1] as f64 / spheres.get(a + r).copied().unwrap_or(0).max(1) as f64;
+            let rb = prefix[b + 1] as f64 / spheres.get(b + r).copied().unwrap_or(0).max(1) as f64;
+            ra.partial_cmp(&rb).unwrap()
+        })
+        .unwrap_or(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ball_sizes_on_path() {
+        let g = generators::path(11);
+        let b = ball_sizes(&g, NodeId(5), 3);
+        assert_eq!(b, vec![1, 3, 5, 7]);
+        let s = sphere_sizes(&g, NodeId(5), 3);
+        assert_eq!(s, vec![1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn growth_exponent_decays_on_grid() {
+        let g = generators::grid2d(25, 25, true);
+        let g2 = growth_exponent(&g, 2);
+        let g8 = growth_exponent(&g, 8);
+        assert!(g8 < g2, "grid growth exponent should decay: {g8} < {g2}");
+    }
+
+    #[test]
+    fn growth_exponent_on_tree_stays_high() {
+        let g = generators::balanced_tree(2, 8);
+        let e = growth_exponent(&g, 6);
+        assert!(e > 0.5, "binary tree growth is exponential: {e}");
+    }
+
+    #[test]
+    fn find_alpha_on_cycle() {
+        // On a cycle, |N_{≤α}| = 2α + 1 and |N_{=α+r}| = 2, so the lemma
+        // inequality holds as soon as 2α + 1 ≥ 2·threshold.
+        let g = generators::cycle(200);
+        let a = find_alpha(&g, NodeId(0), 10, 2, 4).unwrap();
+        assert!((10..=20).contains(&a));
+        assert!(2 * a + 1 >= 2 * 4);
+    }
+
+    #[test]
+    fn find_alpha_fails_with_absurd_threshold() {
+        let g = generators::cycle(200);
+        assert_eq!(find_alpha(&g, NodeId(0), 3, 1, 1000), None);
+        let fallback = find_alpha_or_best(&g, NodeId(0), 3, 1, 1000);
+        assert!((3..=6).contains(&fallback));
+    }
+
+    #[test]
+    fn find_alpha_near_graph_boundary() {
+        // When the ball swallows the whole graph, the boundary sphere is
+        // empty and the inequality holds trivially.
+        let g = generators::cycle(12);
+        let a = find_alpha(&g, NodeId(0), 6, 3, 1_000_000).unwrap();
+        assert_eq!(a, 6);
+    }
+}

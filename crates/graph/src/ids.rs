@@ -1,0 +1,183 @@
+//! Unique-identifier assignments for the LOCAL model.
+//!
+//! In the LOCAL model nodes carry unique identifiers from
+//! `{1, …, poly(n)}`. Advice may depend on the identifiers (the paper is
+//! explicit about this), so identifiers are a first-class object here,
+//! separate from topological node indices.
+
+use crate::graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A bijection from node indices to unique LOCAL-model identifiers.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{ids::IdAssignment, NodeId};
+/// let ids = IdAssignment::identity(4);
+/// assert_eq!(ids.uid(NodeId(2)), 3); // identity assigns 1-based ids
+/// assert_eq!(ids.node_of(3), Some(NodeId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    uids: Vec<u64>,
+}
+
+impl IdAssignment {
+    /// The identity assignment: node `i` gets identifier `i + 1`.
+    pub fn identity(n: usize) -> Self {
+        IdAssignment {
+            uids: (1..=n as u64).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `{1, …, n}` (deterministic in `seed`).
+    pub fn random_permutation(n: usize, seed: u64) -> Self {
+        let mut uids: Vec<u64> = (1..=n as u64).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        uids.shuffle(&mut rng);
+        IdAssignment { uids }
+    }
+
+    /// Random *distinct* identifiers from `{1, …, space}` — models the
+    /// `poly(n)` identifier space of the LOCAL model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space < n`.
+    pub fn random_sparse(n: usize, space: u64, seed: u64) -> Self {
+        assert!(space >= n as u64, "identifier space too small");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < n {
+            chosen.insert(rng.random_range(1..=space));
+        }
+        let mut uids: Vec<u64> = chosen.into_iter().collect();
+        uids.shuffle(&mut rng);
+        IdAssignment { uids }
+    }
+
+    /// Builds an assignment from explicit identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifiers are not pairwise distinct.
+    pub fn from_uids(uids: Vec<u64>) -> Self {
+        let mut sorted = uids.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "identifiers must be unique"
+        );
+        IdAssignment { uids }
+    }
+
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.uids.len()
+    }
+
+    /// The unique identifier of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn uid(&self, v: NodeId) -> u64 {
+        self.uids[v.index()]
+    }
+
+    /// The node carrying identifier `uid`, if any. `O(n)`.
+    pub fn node_of(&self, uid: u64) -> Option<NodeId> {
+        self.uids
+            .iter()
+            .position(|&u| u == uid)
+            .map(NodeId::from_index)
+    }
+
+    /// All identifiers, indexed by node.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.uids
+    }
+
+    /// Nodes sorted by ascending identifier — the canonical processing order
+    /// used by "consider nodes by their IDs" steps in the paper.
+    pub fn nodes_by_uid(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.n()).map(NodeId::from_index).collect();
+        order.sort_by_key(|&v| self.uid(v));
+        order
+    }
+
+    /// The rank (0-based) of each node's identifier among all identifiers.
+    /// Two assignments with the same ranks are *order-equivalent* — the
+    /// notion under which order-invariant algorithms (Contribution 2) must
+    /// behave identically.
+    pub fn ranks(&self) -> Vec<usize> {
+        let order = self.nodes_by_uid();
+        let mut rank = vec![0usize; self.n()];
+        for (r, v) in order.into_iter().enumerate() {
+            rank[v.index()] = r;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_basics() {
+        let ids = IdAssignment::identity(5);
+        assert_eq!(ids.n(), 5);
+        assert_eq!(ids.uid(NodeId(0)), 1);
+        assert_eq!(ids.uid(NodeId(4)), 5);
+        assert_eq!(ids.node_of(42), None);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let ids = IdAssignment::random_permutation(50, 9);
+        let mut seen: Vec<u64> = ids.as_slice().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=50).collect::<Vec<_>>());
+        assert_eq!(ids, IdAssignment::random_permutation(50, 9));
+        assert_ne!(ids, IdAssignment::random_permutation(50, 10));
+    }
+
+    #[test]
+    fn random_sparse_ids_distinct_and_in_range() {
+        let ids = IdAssignment::random_sparse(30, 30 * 30, 3);
+        let mut seen: Vec<u64> = ids.as_slice().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 30);
+        assert!(seen.iter().all(|&u| (1..=900).contains(&u)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn from_uids_rejects_duplicates() {
+        IdAssignment::from_uids(vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn ranks_are_order_invariant() {
+        let a = IdAssignment::from_uids(vec![10, 30, 20]);
+        let b = IdAssignment::from_uids(vec![100, 900, 500]);
+        assert_eq!(a.ranks(), b.ranks());
+        assert_eq!(a.ranks(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn nodes_by_uid_sorted() {
+        let ids = IdAssignment::from_uids(vec![5, 1, 3]);
+        assert_eq!(
+            ids.nodes_by_uid(),
+            vec![NodeId(1), NodeId(2), NodeId(0)]
+        );
+    }
+}

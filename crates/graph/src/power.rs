@@ -1,0 +1,69 @@
+//! Power graphs `G^k` (Section 3.1 of the paper).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::traversal;
+
+/// The power graph `G^k`: same nodes, an edge `{u, v}` whenever
+/// `1 ≤ dist_G(u, v) ≤ k`.
+///
+/// Used for distance-`k` colorings (a proper coloring of `G^k`).
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{generators, power::power_graph, NodeId};
+/// let g = generators::path(4);
+/// let g2 = power_graph(&g, 2);
+/// assert!(g2.has_edge(NodeId(0), NodeId(2)));
+/// assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+/// ```
+pub fn power_graph(g: &Graph, k: usize) -> Graph {
+    let mut b = GraphBuilder::new(g.n());
+    if k == 0 {
+        return b.build();
+    }
+    for v in g.nodes() {
+        for (u, d) in traversal::ball(g, v, k) {
+            if d >= 1 && u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn square_of_cycle() {
+        let g = generators::cycle(8);
+        let g2 = power_graph(&g, 2);
+        assert!(g2.nodes().all(|v| g2.degree(v) == 4));
+        assert!(g2.has_edge(NodeId(0), NodeId(6)));
+        assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = generators::grid2d(3, 3, false);
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    fn power_zero_is_empty() {
+        let g = generators::cycle(5);
+        assert_eq!(power_graph(&g, 0).m(), 0);
+    }
+
+    #[test]
+    fn large_power_is_complete_per_component() {
+        let g = generators::path(5);
+        let gp = power_graph(&g, 10);
+        assert_eq!(gp.m(), 10); // K5
+    }
+}

@@ -1,0 +1,230 @@
+//! Maximal independent sets and `(α, β)`-ruling sets (Section 3.1).
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal;
+use std::collections::VecDeque;
+
+/// A maximal independent set computed greedily in the given order.
+///
+/// # Panics
+///
+/// Panics if `order` repeats nodes or is out of range.
+pub fn greedy_mis(g: &Graph, order: &[NodeId]) -> Vec<NodeId> {
+    let mut blocked = vec![false; g.n()];
+    let mut seen = vec![false; g.n()];
+    let mut mis = Vec::new();
+    for &v in order {
+        assert!(!seen[v.index()], "order must not repeat nodes");
+        seen[v.index()] = true;
+        if blocked[v.index()] {
+            continue;
+        }
+        mis.push(v);
+        blocked[v.index()] = true;
+        for &u in g.neighbors(v) {
+            blocked[u.index()] = true;
+        }
+    }
+    mis
+}
+
+/// A maximal independent set in node-index order.
+pub fn greedy_mis_default(g: &Graph) -> Vec<NodeId> {
+    let order: Vec<NodeId> = g.nodes().collect();
+    greedy_mis(g, &order)
+}
+
+/// A maximal independent subset of `candidates` (greedy, in the order given).
+/// Nodes outside `candidates` are ignored entirely.
+pub fn greedy_mis_within(g: &Graph, candidates: &[NodeId]) -> Vec<NodeId> {
+    let mut blocked = vec![false; g.n()];
+    let mut out = Vec::new();
+    for &v in candidates {
+        if blocked[v.index()] {
+            continue;
+        }
+        out.push(v);
+        blocked[v.index()] = true;
+        for &u in g.neighbors(v) {
+            blocked[u.index()] = true;
+        }
+    }
+    out
+}
+
+/// Whether `set` is independent in `g`.
+pub fn is_independent(g: &Graph, set: &[NodeId]) -> bool {
+    let mut inset = vec![false; g.n()];
+    for &v in set {
+        inset[v.index()] = true;
+    }
+    set.iter()
+        .all(|&v| g.neighbors(v).iter().all(|&u| !inset[u.index()]))
+}
+
+/// Whether `set` is a *maximal* independent set of `g`.
+pub fn is_mis(g: &Graph, set: &[NodeId]) -> bool {
+    if !is_independent(g, set) {
+        return false;
+    }
+    let mut inset = vec![false; g.n()];
+    for &v in set {
+        inset[v.index()] = true;
+    }
+    g.nodes()
+        .all(|v| inset[v.index()] || g.neighbors(v).iter().any(|&u| inset[u.index()]))
+}
+
+/// A greedy `(α, β)`-ruling set with `β = α - 1`: chosen nodes are pairwise
+/// at distance `≥ α` and every node is within distance `α - 1` of a chosen
+/// node. (A maximal "distance-(α-1) independent set".)
+///
+/// Equivalently a MIS of `G^{α-1}`, computed without materializing the power
+/// graph.
+///
+/// # Panics
+///
+/// Panics if `alpha == 0`.
+pub fn ruling_set(g: &Graph, alpha: usize) -> Vec<NodeId> {
+    assert!(alpha >= 1, "alpha must be positive");
+    let mut blocked = vec![false; g.n()];
+    let mut out = Vec::new();
+    for v in g.nodes() {
+        if blocked[v.index()] {
+            continue;
+        }
+        out.push(v);
+        // Block everything within distance alpha - 1.
+        let mut queue = VecDeque::from([(v, 0usize)]);
+        let mut visited = vec![false; g.n()];
+        visited[v.index()] = true;
+        while let Some((u, d)) = queue.pop_front() {
+            blocked[u.index()] = true;
+            if d + 1 < alpha {
+                for &w in g.neighbors(u) {
+                    if !visited[w.index()] {
+                        visited[w.index()] = true;
+                        queue.push_back((w, d + 1));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A ruling set restricted to a node subset: chosen nodes come from
+/// `candidates`, are pairwise at distance `≥ alpha` *in `g`*, and every
+/// candidate is within distance `alpha - 1` of a chosen node.
+pub fn ruling_set_within(g: &Graph, candidates: &[NodeId], alpha: usize) -> Vec<NodeId> {
+    assert!(alpha >= 1, "alpha must be positive");
+    let mut blocked = vec![false; g.n()];
+    let mut out = Vec::new();
+    for &v in candidates {
+        if blocked[v.index()] {
+            continue;
+        }
+        out.push(v);
+        for (u, _) in traversal::ball(g, v, alpha - 1) {
+            blocked[u.index()] = true;
+        }
+    }
+    out
+}
+
+/// Validates the `(α, β)`-ruling-set property for `set` over `domain`
+/// (`domain = None` means all nodes): pairwise distance `≥ alpha`, and every
+/// domain node within distance `≤ beta` of the set.
+pub fn is_ruling_set(
+    g: &Graph,
+    set: &[NodeId],
+    domain: Option<&[NodeId]>,
+    alpha: usize,
+    beta: usize,
+) -> bool {
+    // Pairwise distance.
+    for (i, &a) in set.iter().enumerate() {
+        let d = traversal::bfs_distances(g, a);
+        for &b in &set[i + 1..] {
+            if let Some(dist) = d[b.index()] {
+                if dist < alpha {
+                    return false;
+                }
+            }
+        }
+    }
+    // Domination.
+    let dist = traversal::multi_source_distances(g, set.iter().copied());
+    let check = |v: NodeId| matches!(dist[v.index()], Some(d) if d <= beta);
+    match domain {
+        Some(dom) => dom.iter().all(|&v| check(v)),
+        None => g.nodes().all(check),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn mis_on_cycle() {
+        let g = generators::cycle(9);
+        let mis = greedy_mis_default(&g);
+        assert!(is_mis(&g, &mis));
+        assert!(mis.len() >= 3);
+    }
+
+    #[test]
+    fn mis_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::random_bounded_degree(80, 5, 150, seed);
+            let mis = greedy_mis_default(&g);
+            assert!(is_mis(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn mis_within_subset() {
+        let g = generators::cycle(10);
+        let cand: Vec<NodeId> = (0..6).map(NodeId::from_index).collect();
+        let set = greedy_mis_within(&g, &cand);
+        assert!(is_independent(&g, &set));
+        assert!(set.iter().all(|v| v.index() < 6));
+    }
+
+    #[test]
+    fn ruling_set_is_mis_of_power() {
+        let g = generators::cycle(20);
+        let rs = ruling_set(&g, 3);
+        assert!(is_ruling_set(&g, &rs, None, 3, 2));
+    }
+
+    #[test]
+    fn ruling_set_alpha_one_is_everything() {
+        let g = generators::path(5);
+        assert_eq!(ruling_set(&g, 1).len(), 5);
+    }
+
+    #[test]
+    fn ruling_set_within_dominates_candidates() {
+        let g = generators::grid2d(6, 6, false);
+        let cand: Vec<NodeId> = g.nodes().filter(|v| v.index() % 3 == 0).collect();
+        let rs = ruling_set_within(&g, &cand, 4);
+        assert!(is_ruling_set(&g, &rs, Some(&cand), 4, 3));
+    }
+
+    #[test]
+    fn is_independent_detects_edges() {
+        let g = generators::path(3);
+        assert!(is_independent(&g, &[NodeId(0), NodeId(2)]));
+        assert!(!is_independent(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn is_mis_detects_non_maximal() {
+        let g = generators::path(5);
+        assert!(!is_mis(&g, &[NodeId(0)]));
+        assert!(is_mis(&g, &[NodeId(0), NodeId(2), NodeId(4)]));
+    }
+}

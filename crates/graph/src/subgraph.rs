@@ -1,0 +1,133 @@
+//! Induced subgraphs with explicit node mappings.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// The subgraph of a graph induced by a node subset, remembering the mapping
+/// back to the original graph.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{generators, subgraph::InducedSubgraph, NodeId};
+/// let g = generators::cycle(6);
+/// let sub = InducedSubgraph::new(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+/// assert_eq!(sub.graph().m(), 2); // path 0-1-2
+/// assert_eq!(sub.to_original(NodeId(2)), NodeId(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    /// `original[local.index()]` is the original node.
+    original: Vec<NodeId>,
+    /// `local_of[orig.index()]` is the local node, if included.
+    local_of: Vec<Option<NodeId>>,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph induced by `nodes` (duplicates ignored).
+    ///
+    /// Local indices follow the order of first appearance in `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range for `g`.
+    pub fn new(g: &Graph, nodes: &[NodeId]) -> Self {
+        let mut local_of: Vec<Option<NodeId>> = vec![None; g.n()];
+        let mut original = Vec::new();
+        for &v in nodes {
+            assert!(v.index() < g.n(), "node {v:?} out of range");
+            if local_of[v.index()].is_none() {
+                local_of[v.index()] = Some(NodeId::from_index(original.len()));
+                original.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(original.len());
+        for (li, &orig) in original.iter().enumerate() {
+            for &u in g.neighbors(orig) {
+                if let Some(lu) = local_of[u.index()] {
+                    if lu.index() > li {
+                        b.add_edge(NodeId::from_index(li), lu);
+                    }
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            original,
+            local_of,
+        }
+    }
+
+    /// Builds the subgraph induced by the nodes for which `keep` is true.
+    pub fn filtered(g: &Graph, keep: impl Fn(NodeId) -> bool) -> Self {
+        let nodes: Vec<NodeId> = g.nodes().filter(|&v| keep(v)).collect();
+        Self::new(g, &nodes)
+    }
+
+    /// The induced graph (local indices).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Maps a local node back to the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_original(&self, local: NodeId) -> NodeId {
+        self.original[local.index()]
+    }
+
+    /// Maps an original node into the subgraph, if present.
+    pub fn to_local(&self, orig: NodeId) -> Option<NodeId> {
+        self.local_of[orig.index()]
+    }
+
+    /// All original nodes in local order.
+    pub fn original_nodes(&self) -> &[NodeId] {
+        &self.original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, traversal};
+
+    #[test]
+    fn induced_cycle_segment() {
+        let g = generators::cycle(8);
+        let sub = InducedSubgraph::new(&g, &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(sub.graph().n(), 4);
+        assert_eq!(sub.graph().m(), 3);
+        assert!(traversal::is_connected(sub.graph()));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = generators::grid2d(3, 3, false);
+        let nodes = [NodeId(4), NodeId(0), NodeId(8)];
+        let sub = InducedSubgraph::new(&g, &nodes);
+        for &v in &nodes {
+            assert_eq!(sub.to_original(sub.to_local(v).unwrap()), v);
+        }
+        assert_eq!(sub.to_local(NodeId(5)), None);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = generators::path(3);
+        let sub = InducedSubgraph::new(&g, &[NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(sub.graph().n(), 2);
+        assert_eq!(sub.graph().m(), 1);
+    }
+
+    #[test]
+    fn filtered_by_predicate() {
+        let g = generators::cycle(10);
+        let sub = InducedSubgraph::filtered(&g, |v| v.index() % 2 == 0);
+        assert_eq!(sub.graph().n(), 5);
+        assert_eq!(sub.graph().m(), 0); // even nodes of a cycle are independent
+    }
+}

@@ -1,0 +1,240 @@
+//! Breadth-first traversals: distances, balls, components, diameter.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; `None` for unreachable nodes.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::{generators, traversal, NodeId};
+/// let g = generators::path(5);
+/// let d = traversal::bfs_distances(&g, NodeId(0));
+/// assert_eq!(d[4], Some(4));
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    multi_source_distances(g, std::iter::once(source))
+}
+
+/// BFS distances from a set of sources (distance to the nearest source).
+pub fn multi_source_distances(
+    g: &Graph,
+    sources: impl IntoIterator<Item = NodeId>,
+) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.n()];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].unwrap();
+        for &u in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The nodes at distance at most `r` from `center` (`N_{≤r}(v)` in the
+/// paper), in BFS order, paired with their distance.
+pub fn ball(g: &Graph, center: NodeId, r: usize) -> Vec<(NodeId, usize)> {
+    let mut dist: Vec<Option<usize>> = vec![None; g.n()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[center.index()] = Some(0);
+    queue.push_back(center);
+    out.push((center, 0));
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].unwrap();
+        if dv == r {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(dv + 1);
+                out.push((u, dv + 1));
+                queue.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+/// The nodes at distance *exactly* `r` from `center` (`N_{=r}(v)`).
+pub fn sphere(g: &Graph, center: NodeId, r: usize) -> Vec<NodeId> {
+    ball(g, center, r)
+        .into_iter()
+        .filter_map(|(v, d)| (d == r).then_some(v))
+        .collect()
+}
+
+/// Connected components: returns `(component_index_per_node, count)`.
+///
+/// Component indices are assigned in order of the smallest node index they
+/// contain, so the labeling is deterministic.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut count = 0;
+    for s in g.nodes() {
+        if comp[s.index()] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s.index()] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || connected_components(g).1 == 1
+}
+
+/// Eccentricity of `v` within its connected component.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Diameter of the graph: the maximum eccentricity over all nodes, taken
+/// per connected component (`None` for the empty graph).
+///
+/// Runs a BFS from every node — `O(n·m)` — fine for evaluation-scale graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    g.nodes().map(|v| eccentricity(g, v)).max()
+}
+
+/// A shortest path from `a` to `b` (inclusive), or `None` if disconnected.
+pub fn shortest_path(g: &Graph, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.n()];
+    let mut seen = vec![false; g.n()];
+    let mut queue = VecDeque::new();
+    seen[a.index()] = true;
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        if v == b {
+            break;
+        }
+        for &u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    if !seen[b.index()] {
+        return None;
+    }
+    let mut path = vec![b];
+    let mut cur = b;
+    while let Some(p) = parent[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], a);
+    Some(path)
+}
+
+/// Distance between two nodes, or `None` if disconnected.
+pub fn distance(g: &Graph, a: NodeId, b: NodeId) -> Option<usize> {
+    bfs_distances(g, a)[b.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(10);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[5], Some(5));
+        assert_eq!(d[9], Some(1));
+        assert_eq!(d[3], Some(3));
+    }
+
+    #[test]
+    fn ball_and_sphere() {
+        let g = generators::path(7);
+        let b = ball(&g, NodeId(3), 2);
+        let nodes: Vec<_> = b.iter().map(|&(v, _)| v.index()).collect();
+        assert_eq!(nodes.len(), 5);
+        assert!(nodes.contains(&1) && nodes.contains(&5));
+        let s = sphere(&g, NodeId(3), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(sphere(&g, NodeId(0), 6), vec![NodeId(6)]);
+        assert!(sphere(&g, NodeId(0), 7).is_empty());
+    }
+
+    #[test]
+    fn components_on_disjoint_union() {
+        let g = generators::disjoint_union(&[generators::cycle(4), generators::path(3)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[6]);
+        assert_ne!(comp[0], comp[4]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_values() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::cycle(9)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn shortest_path_on_grid() {
+        let g = generators::grid2d(3, 3, false);
+        let p = shortest_path(&g, NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(p.len(), 5); // 4 steps
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(*p.last().unwrap(), NodeId(8));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_disconnected() {
+        let g = generators::disjoint_union(&[generators::path(2), generators::path(2)]);
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).is_none());
+        assert_eq!(distance(&g, NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = generators::path(9);
+        let d = multi_source_distances(&g, [NodeId(0), NodeId(8)]);
+        assert_eq!(d[4], Some(4));
+        assert_eq!(d[7], Some(1));
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = generators::path(9);
+        assert_eq!(eccentricity(&g, NodeId(4)), 4);
+        assert_eq!(eccentricity(&g, NodeId(0)), 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the graph substrate.
+
+use lad_graph::{
+    builder, coloring, generators, orientation, ruling, traversal, EulerPartition, NodeId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = lad_graph::Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(80)).prop_map(
+            move |pairs| {
+                let mut b = builder::GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        b.add_edge(NodeId(u), NodeId(v));
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_adjacency_is_symmetric(g in arb_graph()) {
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).contains(&v));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.m());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_steps(g in arb_graph()) {
+        let d = traversal::bfs_distances(&g, NodeId(0));
+        for (_, (u, v)) in g.edges() {
+            match (d[u.index()], d[v.index()]) {
+                (Some(a), Some(b)) => prop_assert!(a.abs_diff(b) <= 1),
+                (None, None) => {}
+                _ => prop_assert!(false, "edge between reached and unreached node"),
+            }
+        }
+    }
+
+    #[test]
+    fn euler_partition_covers_every_edge_once((g, seed) in (arb_graph(), 0u64..1000)) {
+        let n = g.n();
+        let uids = lad_graph::IdAssignment::random_permutation(n, seed);
+        let ep = EulerPartition::new(&g, uids.as_slice());
+        let mut count = vec![0usize; g.m()];
+        for t in ep.trails() {
+            // Consecutive edges share the claimed node.
+            for i in 0..t.len() {
+                let (a, b) = g.endpoints(t.edges[i]);
+                let (x, y) = (t.nodes[i], t.nodes[i + 1]);
+                prop_assert!((a, b) == (x.min(y), x.max(y)));
+                count[t.edges[i].index()] += 1;
+            }
+            if t.closed {
+                prop_assert_eq!(t.nodes[0], *t.nodes.last().unwrap());
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn forward_orientation_is_almost_balanced((g, seed) in (arb_graph(), 0u64..1000)) {
+        let n = g.n();
+        let uids = lad_graph::IdAssignment::random_permutation(n, seed);
+        let o = EulerPartition::new(&g, uids.as_slice()).orient_all_forward(&g);
+        prop_assert!(o.is_almost_balanced(&g));
+        if g.all_degrees_even() {
+            prop_assert!(o.is_balanced(&g));
+        }
+    }
+
+    #[test]
+    fn pairing_is_involutive((g, seed) in (arb_graph(), 0u64..1000)) {
+        let uids = lad_graph::IdAssignment::random_permutation(g.n(), seed);
+        for v in g.nodes() {
+            let mut unpaired = 0;
+            for &e in g.incident_edges(v) {
+                match orientation::pair_partner(&g, uids.as_slice(), v, e) {
+                    Some(p) => {
+                        prop_assert_ne!(p, e);
+                        prop_assert_eq!(
+                            orientation::pair_partner(&g, uids.as_slice(), v, p),
+                            Some(e)
+                        );
+                    }
+                    None => unpaired += 1,
+                }
+            }
+            prop_assert_eq!(unpaired, g.degree(v) % 2);
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_proper_and_bounded(g in arb_graph(), seed in 0u64..100) {
+        let ids = lad_graph::IdAssignment::random_permutation(g.n(), seed);
+        let order = ids.nodes_by_uid();
+        let c = coloring::greedy_coloring(&g, &order);
+        prop_assert!(coloring::is_proper_coloring(&g, &c));
+        prop_assert!(c.iter().all(|&x| x <= g.max_degree()));
+    }
+
+    #[test]
+    fn make_greedy_preserves_properness(g in arb_graph()) {
+        let base = coloring::greedy_coloring_default(&g);
+        let greedy = coloring::make_greedy(&g, &base);
+        prop_assert!(coloring::is_greedy_coloring(&g, &greedy));
+        // Never uses more colors than the input.
+        let max_in = base.iter().max().copied().unwrap_or(0);
+        prop_assert!(greedy.iter().all(|&c| c <= max_in));
+    }
+
+    #[test]
+    fn ruling_set_properties(g in arb_graph(), alpha in 1usize..6) {
+        let rs = ruling::ruling_set(&g, alpha);
+        prop_assert!(ruling::is_ruling_set(&g, &rs, None, alpha, alpha.saturating_sub(1)));
+    }
+
+    #[test]
+    fn mis_is_maximal_and_independent(g in arb_graph()) {
+        let mis = ruling::greedy_mis_default(&g);
+        prop_assert!(ruling::is_mis(&g, &mis));
+    }
+
+    #[test]
+    fn ball_matches_distances(g in arb_graph(), r in 0usize..5) {
+        let d = traversal::bfs_distances(&g, NodeId(0));
+        let ball = traversal::ball(&g, NodeId(0), r);
+        let in_ball: Vec<bool> = {
+            let mut v = vec![false; g.n()];
+            for &(u, du) in &ball {
+                prop_assert_eq!(d[u.index()], Some(du));
+                v[u.index()] = true;
+            }
+            v
+        };
+        for v in g.nodes() {
+            let expect = matches!(d[v.index()], Some(x) if x <= r);
+            prop_assert_eq!(in_ball[v.index()], expect);
+        }
+    }
+
+    #[test]
+    fn uid_ranks_are_order_invariant(n in 2usize..30, seed in 0u64..50) {
+        let a = lad_graph::IdAssignment::random_permutation(n, seed);
+        // Stretch uids monotonically: ranks must not change.
+        let stretched: Vec<u64> = a.as_slice().iter().map(|&u| u * 1000 + 7).collect();
+        let b = lad_graph::IdAssignment::from_uids(stretched);
+        prop_assert_eq!(a.ranks(), b.ranks());
+    }
+}
+
+#[test]
+fn generators_cover_expected_degrees() {
+    // Deterministic sanity net over the generator zoo.
+    assert!(generators::cycle(10).nodes().all(|_| true));
+    assert_eq!(generators::hypercube(5).max_degree(), 5);
+    assert_eq!(generators::balanced_tree(3, 2).n(), 13);
+}

@@ -1,0 +1,423 @@
+//! Deterministic backtracking completion of partial LCL labelings.
+//!
+//! This is the "complete the solution inside the cluster by brute force"
+//! step of Contribution 1 — and because it always returns the
+//! *lexicographically first* valid completion, an encoder and a decoder
+//! running it on the same region with the same pins obtain the same answer,
+//! which is exactly the consistency the paper's schemas rely on.
+
+use crate::view::{LclView, Verdict};
+use crate::Lcl;
+use lad_graph::{traversal, EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// Why a completion attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompleteError {
+    /// The search space was exhausted: no completion satisfies the LCL on
+    /// the checked nodes.
+    NoSolution,
+    /// The step budget ran out before the search finished.
+    CapExceeded {
+        /// The budget that was exhausted.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for CompleteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompleteError::NoSolution => write!(f, "no completion satisfies the constraints"),
+            CompleteError::CapExceeded { cap } => {
+                write!(f, "backtracking exceeded its budget of {cap} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompleteError {}
+
+/// A region to complete: a graph with identifiers and true degrees
+/// (the graph may be a subgraph of a larger network, in which case
+/// `true_degree` records the original degrees).
+#[derive(Debug, Clone, Copy)]
+pub struct Region<'a> {
+    /// The region's graph.
+    pub graph: &'a Graph,
+    /// Unique identifiers per node.
+    pub uids: &'a [u64],
+    /// True degrees in the enclosing network.
+    pub true_degree: &'a [usize],
+    /// `Σ_in` input labels per node (`&[]` for input-free problems, which
+    /// is treated as all-zeros).
+    pub node_inputs: &'a [usize],
+}
+
+/// Finds the lexicographically first completion of a partial labeling such
+/// that no node in `check_nodes` is violated (nodes are assigned in index
+/// order, then edges; labels are tried in ascending order).
+///
+/// `check_nodes` should contain exactly the nodes whose constraint is fully
+/// determined inside the region (e.g., cluster-interior nodes); constraints
+/// that remain `Undetermined` at the end are accepted.
+///
+/// Returns the completed `(node_labels, edge_labels)`.
+///
+/// # Errors
+///
+/// - [`CompleteError::NoSolution`] if the constraints are unsatisfiable.
+/// - [`CompleteError::CapExceeded`] if more than `cap` assignments were
+///   attempted.
+pub fn complete(
+    region: Region<'_>,
+    lcl: &dyn Lcl,
+    pinned_nodes: &[Option<usize>],
+    pinned_edges: &[Option<usize>],
+    check_nodes: &[NodeId],
+    cap: u64,
+) -> Result<(Vec<usize>, Vec<usize>), CompleteError> {
+    let g = region.graph;
+    assert_eq!(pinned_nodes.len(), g.n());
+    assert_eq!(pinned_edges.len(), g.m());
+    let r = lcl.radius();
+
+    // Precompute, for each variable, the check-nodes whose constraint can
+    // involve it: centers within distance r (nodes) or within distance r of
+    // an endpoint (edges).
+    let mut is_check = vec![false; g.n()];
+    for &v in check_nodes {
+        is_check[v.index()] = true;
+    }
+    let affected_by_node: Vec<Vec<NodeId>> = g
+        .nodes()
+        .map(|v| {
+            traversal::ball(g, v, r)
+                .into_iter()
+                .filter_map(|(u, _)| is_check[u.index()].then_some(u))
+                .collect()
+        })
+        .collect();
+    let affected_by_edge: Vec<Vec<NodeId>> = g
+        .edge_ids()
+        .map(|e| {
+            let (a, b) = g.endpoints(e);
+            let mut centers: Vec<NodeId> = affected_by_node[a.index()]
+                .iter()
+                .chain(&affected_by_node[b.index()])
+                .copied()
+                .collect();
+            centers.sort_unstable();
+            centers.dedup();
+            centers
+        })
+        .collect();
+
+    // Variable order: free nodes (if the node alphabet is nontrivial),
+    // then free edges (if the edge alphabet is nontrivial).
+    #[derive(Clone, Copy)]
+    enum Var {
+        Node(NodeId),
+        Edge(EdgeId),
+    }
+    let mut vars: Vec<(Var, usize)> = Vec::new();
+    let mut node_labels = pinned_nodes.to_vec();
+    let mut edge_labels = pinned_edges.to_vec();
+    let node_pref = lcl.label_preference();
+    assert_eq!(node_pref.len(), lcl.node_alphabet(), "preference must be a permutation");
+    if lcl.node_alphabet() > 1 {
+        for v in g.nodes() {
+            if node_labels[v.index()].is_none() {
+                vars.push((Var::Node(v), lcl.node_alphabet()));
+            }
+        }
+    } else {
+        for l in node_labels.iter_mut() {
+            l.get_or_insert(0);
+        }
+    }
+    if lcl.edge_alphabet() > 1 {
+        for e in g.edge_ids() {
+            if edge_labels[e.index()].is_none() {
+                vars.push((Var::Edge(e), lcl.edge_alphabet()));
+            }
+        }
+    } else {
+        for l in edge_labels.iter_mut() {
+            l.get_or_insert(0);
+        }
+    }
+
+    let zero_inputs;
+    let node_inputs: &[usize] = if region.node_inputs.is_empty() {
+        zero_inputs = vec![0usize; g.n()];
+        &zero_inputs
+    } else {
+        region.node_inputs
+    };
+    let verdict_at = |center: NodeId, nl: &[Option<usize>], el: &[Option<usize>]| {
+        let view = LclView {
+            graph: g,
+            center,
+            uids: region.uids,
+            true_degree: region.true_degree,
+            node_inputs,
+            node_labels: nl,
+            edge_labels: el,
+        };
+        lcl.verdict(&view)
+    };
+
+    // Initial consistency of the pins.
+    for &v in check_nodes {
+        if verdict_at(v, &node_labels, &edge_labels) == Verdict::Violated {
+            return Err(CompleteError::NoSolution);
+        }
+    }
+
+    // Depth-first search with chronological backtracking.
+    let mut steps: u64 = 0;
+    let mut choice: Vec<usize> = Vec::with_capacity(vars.len());
+    let mut depth = 0usize;
+    let mut next_label = 0usize;
+    loop {
+        if depth == vars.len() {
+            return Ok((
+                node_labels.into_iter().map(|l| l.unwrap()).collect(),
+                edge_labels.into_iter().map(|l| l.unwrap()).collect(),
+            ));
+        }
+        let (var, alphabet) = vars[depth];
+        let mut assigned = false;
+        for label_rank in next_label..alphabet {
+            steps += 1;
+            if steps > cap {
+                return Err(CompleteError::CapExceeded { cap });
+            }
+            // Node labels follow the problem's preference order; edge
+            // labels stay ascending.
+            let label = match var {
+                Var::Node(_) => node_pref[label_rank],
+                Var::Edge(_) => label_rank,
+            };
+            let affected = match var {
+                Var::Node(v) => {
+                    node_labels[v.index()] = Some(label);
+                    &affected_by_node[v.index()]
+                }
+                Var::Edge(e) => {
+                    edge_labels[e.index()] = Some(label);
+                    &affected_by_edge[e.index()]
+                }
+            };
+            let violated = affected
+                .iter()
+                .any(|&c| verdict_at(c, &node_labels, &edge_labels) == Verdict::Violated);
+            if !violated {
+                choice.push(label_rank);
+                depth += 1;
+                next_label = 0;
+                assigned = true;
+                break;
+            }
+        }
+        if assigned {
+            continue;
+        }
+        // Exhausted labels here: undo and backtrack.
+        match var {
+            Var::Node(v) => node_labels[v.index()] = None,
+            Var::Edge(e) => edge_labels[e.index()] = None,
+        }
+        loop {
+            if depth == 0 {
+                return Err(CompleteError::NoSolution);
+            }
+            depth -= 1;
+            let tried = choice.pop().expect("choice stack in sync");
+            let (var, alphabet) = vars[depth];
+            match var {
+                Var::Node(v) => node_labels[v.index()] = None,
+                Var::Edge(e) => edge_labels[e.index()] = None,
+            }
+            if tried + 1 < alphabet {
+                next_label = tried + 1;
+                break;
+            }
+        }
+    }
+}
+
+/// Solves an LCL from scratch on a whole (small) graph: the
+/// lexicographically first solution valid at every node.
+///
+/// # Errors
+///
+/// See [`complete`].
+pub fn solve(
+    g: &Graph,
+    uids: &[u64],
+    lcl: &dyn Lcl,
+    cap: u64,
+) -> Result<(Vec<usize>, Vec<usize>), CompleteError> {
+    let true_degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let all: Vec<NodeId> = g.nodes().collect();
+    complete(
+        Region {
+            graph: g,
+            uids,
+            true_degree: &true_degree,
+            node_inputs: &[],
+        },
+        lcl,
+        &vec![None; g.n()],
+        &vec![None; g.m()],
+        &all,
+        cap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{MaximalMatching, Mis, ProperColoring, Splitting};
+    use crate::verify::verify_centralized;
+    use crate::Labeling;
+    use lad_graph::generators;
+    use lad_runtime::Network;
+
+    fn uids(n: usize) -> Vec<u64> {
+        (1..=n as u64).collect()
+    }
+
+    #[test]
+    fn solve_two_coloring_of_even_cycle() {
+        let g = generators::cycle(8);
+        let (nl, _) = solve(&g, &uids(8), &ProperColoring::new(2), 10_000).unwrap();
+        assert_eq!(nl, vec![0, 1, 0, 1, 0, 1, 0, 1]); // lexicographically first
+    }
+
+    #[test]
+    fn two_coloring_of_odd_cycle_has_no_solution() {
+        let g = generators::cycle(7);
+        let err = solve(&g, &uids(7), &ProperColoring::new(2), 100_000).unwrap_err();
+        assert_eq!(err, CompleteError::NoSolution);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let g = generators::cycle(15);
+        let err = solve(&g, &uids(15), &ProperColoring::new(2), 10).unwrap_err();
+        assert_eq!(err, CompleteError::CapExceeded { cap: 10 });
+    }
+
+    #[test]
+    fn solve_mis_on_path() {
+        let g = generators::path(6);
+        let (nl, _) = solve(&g, &uids(6), &Mis, 100_000).unwrap();
+        let net = Network::with_identity_ids(g);
+        let labeling = Labeling::from_node_labels(nl, net.graph().m());
+        assert!(verify_centralized(&net, &Mis, &labeling).is_empty());
+    }
+
+    #[test]
+    fn solve_matching_on_cycle() {
+        let g = generators::cycle(6);
+        let (_, el) = solve(&g, &uids(6), &MaximalMatching, 1_000_000).unwrap();
+        let net = Network::with_identity_ids(g);
+        let labeling = Labeling::from_edge_labels(el, 6);
+        assert!(verify_centralized(&net, &MaximalMatching, &labeling).is_empty());
+    }
+
+    #[test]
+    fn completion_respects_pins() {
+        let g = generators::path(5);
+        let pins = vec![Some(1), None, None, None, Some(1)];
+        let true_degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let (nl, _) = complete(
+            Region {
+                graph: &g,
+                uids: &uids(5),
+                true_degree: &true_degree,
+                node_inputs: &[],
+            },
+            &ProperColoring::new(2),
+            &pins,
+            &vec![None; 4],
+            &all,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(nl[0], 1);
+        assert_eq!(nl[4], 1);
+        assert_eq!(nl, vec![1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn inconsistent_pins_fail_fast() {
+        let g = generators::path(2);
+        let pins = vec![Some(0), Some(0)];
+        let true_degree = vec![1, 1];
+        let all: Vec<NodeId> = g.nodes().collect();
+        let err = complete(
+            Region {
+                graph: &g,
+                uids: &uids(2),
+                true_degree: &true_degree,
+                node_inputs: &[],
+            },
+            &ProperColoring::new(2),
+            &pins,
+            &vec![None; 1],
+            &all,
+            1000,
+        )
+        .unwrap_err();
+        assert_eq!(err, CompleteError::NoSolution);
+    }
+
+    #[test]
+    fn splitting_on_even_cycle() {
+        let g = generators::cycle(6);
+        let (_, el) = solve(&g, &uids(6), &Splitting, 1_000_000).unwrap();
+        let net = Network::with_identity_ids(g);
+        let labeling = Labeling::from_edge_labels(el, 6);
+        assert!(verify_centralized(&net, &Splitting, &labeling).is_empty());
+    }
+
+    #[test]
+    fn determinism_of_completion() {
+        let g = generators::grid2d(3, 3, false);
+        let n = g.n();
+        let (a, _) = solve(&g, &uids(n), &ProperColoring::new(3), 1_000_000).unwrap();
+        let (b, _) = solve(&g, &uids(n), &ProperColoring::new(3), 1_000_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_region_checks_only_requested_nodes() {
+        // A path region cut out of a longer path: endpoint constraints are
+        // not checked (their neighborhoods extend beyond the region).
+        let g = generators::path(4);
+        let true_degree = vec![2, 2, 2, 2]; // pretend all are interior
+        let interior = vec![NodeId(1), NodeId(2)];
+        let (nl, _) = complete(
+            Region {
+                graph: &g,
+                uids: &uids(4),
+                true_degree: &true_degree,
+                node_inputs: &[],
+            },
+            &ProperColoring::new(2),
+            &vec![None; 4],
+            &vec![None; 3],
+            &interior,
+            10_000,
+        )
+        .unwrap();
+        // Interior nodes properly colored relative to their neighbors.
+        assert_ne!(nl[1], nl[0]);
+        assert_ne!(nl[1], nl[2]);
+        assert_ne!(nl[2], nl[3]);
+    }
+}

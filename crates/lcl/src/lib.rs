@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! Locally checkable labelings (LCLs): problem definitions, concrete
+//! problems, distributed verification, and brute-force completion.
+//!
+//! An LCL (Naor–Stockmeyer; Section 3.3 of the paper) is a constant-radius
+//! constraint on constant-size labels: a labeling is a solution iff every
+//! node's radius-`r` view is valid. This crate provides:
+//!
+//! - [`Lcl`]: the problem trait — finite node/edge alphabets, a checkability
+//!   radius, and a *verdict* function over partially labeled views,
+//! - [`problems`]: proper coloring, maximal independent set, maximal
+//!   matching, sinkless orientation, almost-balanced orientation, splitting,
+//!   proper edge coloring, weak 2-coloring, and a deliberately "hard"
+//!   forbidden-pattern problem for the ETH experiments,
+//! - [`verify`]: distributed (ball-view) and centralized checking,
+//! - [`brute`]: deterministic backtracking completion of partial labelings
+//!   — the "complete the solution inside the cluster by brute force" step
+//!   of Contribution 1,
+//! - [`witness`]: centralized witness solvers used by encoders.
+//!
+//! # Example
+//!
+//! ```
+//! use lad_graph::generators;
+//! use lad_lcl::problems::ProperColoring;
+//! use lad_lcl::{verify, Labeling};
+//! use lad_runtime::Network;
+//!
+//! let net = Network::with_identity_ids(generators::cycle(6));
+//! let lcl = ProperColoring::new(2);
+//! let labeling = Labeling::from_node_labels(vec![0, 1, 0, 1, 0, 1], net.graph().m());
+//! assert!(verify::verify_centralized(&net, &lcl, &labeling).is_empty());
+//! ```
+
+pub mod brute;
+pub mod problems;
+pub mod verify;
+pub mod view;
+pub mod witness;
+
+pub use view::{Labeling, LclView, Verdict};
+
+/// A locally checkable labeling problem.
+///
+/// Labels are `usize` values below the problem's alphabet sizes. Problems
+/// without edge labels use an edge alphabet of size 1 (the all-zeros
+/// labeling). Orientation-like edge labels must be defined relative to
+/// endpoint *unique identifiers* (label `0` = oriented from the
+/// smaller-UID endpoint to the larger) so that they survive the local
+/// re-indexing of ball views.
+pub trait Lcl {
+    /// Human-readable problem name.
+    fn name(&self) -> String;
+
+    /// Checkability radius `r`.
+    fn radius(&self) -> usize;
+
+    /// Size of the node-label alphabet `Σ_out` (node part).
+    fn node_alphabet(&self) -> usize;
+
+    /// Size of the edge-label alphabet `Σ_out` (edge part).
+    fn edge_alphabet(&self) -> usize;
+
+    /// The deterministic order in which completion searches should try
+    /// node labels (a permutation of `0..node_alphabet()`). Problems where
+    /// a particular label is "greedy-good" (e.g., joining an independent
+    /// set) override this to make [`brute::complete`] fast; the default is
+    /// ascending. Both encoder and decoder use the same order, so any
+    /// permutation keeps the completion deterministic.
+    fn label_preference(&self) -> Vec<usize> {
+        (0..self.node_alphabet()).collect()
+    }
+
+    /// Evaluates the constraint at the center of a (possibly partially
+    /// labeled) radius-`r` view.
+    ///
+    /// Must be *monotone*: a [`Verdict::Violated`] may only be returned if
+    /// every completion of the partial labeling violates the constraint,
+    /// and [`Verdict::Satisfied`] only if every completion satisfies it.
+    /// Otherwise return [`Verdict::Undetermined`].
+    fn verdict(&self, view: &LclView<'_>) -> Verdict;
+}

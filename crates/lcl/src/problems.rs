@@ -1,0 +1,1222 @@
+//! Concrete LCL problems.
+//!
+//! Each implements [`Lcl`] with a *monotone* verdict: `Violated` /
+//! `Satisfied` are only reported when every completion of the partial
+//! labeling agrees, which is what makes the brute-force completion of
+//! [`crate::brute`] sound.
+
+use crate::view::{LclView, Verdict};
+use crate::Lcl;
+use lad_graph::NodeId;
+
+/// Proper vertex `k`-coloring (node labels `0..k`; radius 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProperColoring {
+    k: usize,
+}
+
+impl ProperColoring {
+    /// A proper coloring problem with `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one color");
+        ProperColoring { k }
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Lcl for ProperColoring {
+    fn name(&self) -> String {
+        format!("proper {}-coloring", self.k)
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        self.k
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let labeled: Vec<Option<usize>> = view
+            .graph
+            .neighbors(c)
+            .iter()
+            .map(|&u| view.node_label(u))
+            .collect();
+        match view.node_label(c) {
+            Some(cc) if cc >= self.k => Verdict::Violated,
+            Some(cc) => {
+                if labeled.iter().flatten().any(|&lu| lu == cc) {
+                    Verdict::Violated
+                } else if view.sees_all_edges_of(c) && labeled.iter().all(Option::is_some) {
+                    Verdict::Satisfied
+                } else {
+                    Verdict::Undetermined
+                }
+            }
+            None => {
+                // Violated only if every color is blocked by a labeled neighbor.
+                if view.sees_all_edges_of(c) {
+                    let mut blocked = vec![false; self.k];
+                    for &l in labeled.iter().flatten() {
+                        if l < self.k {
+                            blocked[l] = true;
+                        }
+                    }
+                    if blocked.iter().all(|&b| b) {
+                        return Verdict::Violated;
+                    }
+                }
+                Verdict::Undetermined
+            }
+        }
+    }
+}
+
+/// Maximal independent set (node labels: 1 = in the set; radius 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mis;
+
+impl Lcl for Mis {
+    fn name(&self) -> String {
+        "maximal independent set".into()
+    }
+
+    fn label_preference(&self) -> Vec<usize> {
+        vec![1, 0] // try joining the set first: completion behaves greedily
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        2
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let nbr_labels: Vec<Option<usize>> = view
+            .graph
+            .neighbors(c)
+            .iter()
+            .map(|&u| view.node_label(u))
+            .collect();
+        match view.node_label(c) {
+            Some(1) => {
+                if nbr_labels.iter().flatten().any(|&l| l == 1) {
+                    Verdict::Violated
+                } else if view.sees_all_edges_of(c) && nbr_labels.iter().all(Option::is_some) {
+                    Verdict::Satisfied
+                } else {
+                    Verdict::Undetermined
+                }
+            }
+            Some(0) => {
+                if nbr_labels.iter().flatten().any(|&l| l == 1) {
+                    Verdict::Satisfied
+                } else if view.sees_all_edges_of(c) && nbr_labels.iter().all(Option::is_some) {
+                    Verdict::Violated // isolated-in-set-free: no 1-neighbor at all
+                } else {
+                    Verdict::Undetermined
+                }
+            }
+            Some(_) => Verdict::Violated,
+            None => Verdict::Undetermined,
+        }
+    }
+}
+
+/// Maximal matching (edge labels: 1 = matched; radius 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaximalMatching;
+
+impl MaximalMatching {
+    /// Incident matched count of `v`, plus whether all incident edges are
+    /// visible and labeled.
+    fn matched_info(view: &LclView<'_>, v: NodeId) -> (usize, bool) {
+        let mut matched = 0;
+        let mut complete = view.sees_all_edges_of(v);
+        for &e in view.graph.incident_edges(v) {
+            match view.edge_label(e) {
+                Some(1) => matched += 1,
+                Some(_) => {}
+                None => complete = false,
+            }
+        }
+        (matched, complete)
+    }
+}
+
+impl Lcl for MaximalMatching {
+    fn name(&self) -> String {
+        "maximal matching".into()
+    }
+
+    fn radius(&self) -> usize {
+        2
+    }
+
+    fn node_alphabet(&self) -> usize {
+        1
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        2
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let (c_matched, c_complete) = Self::matched_info(view, c);
+        if c_matched >= 2 {
+            return Verdict::Violated;
+        }
+        if c_matched == 1 {
+            return if c_complete {
+                Verdict::Satisfied
+            } else {
+                Verdict::Undetermined
+            };
+        }
+        // No matched incident edge seen yet.
+        if !c_complete {
+            return Verdict::Undetermined;
+        }
+        // Center definitively unmatched: every neighbor must be matched.
+        // (A neighbor exceeding one matched edge is *its own* violation,
+        // checked at that neighbor — policing it here would break verdict
+        // monotonicity.)
+        let mut all_nbrs_matched = true;
+        for &u in view.graph.neighbors(c) {
+            let (u_matched, u_complete) = Self::matched_info(view, u);
+            if u_matched == 0 {
+                if u_complete {
+                    return Verdict::Violated; // unmatched neighbor of an unmatched node
+                }
+                all_nbrs_matched = false;
+            }
+        }
+        if all_nbrs_matched {
+            Verdict::Satisfied
+        } else {
+            Verdict::Undetermined
+        }
+    }
+}
+
+/// Sinkless orientation (edge labels encode orientation relative to UIDs;
+/// every node of degree ≥ 3 needs an outgoing edge; radius 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinklessOrientation;
+
+impl Lcl for SinklessOrientation {
+    fn name(&self) -> String {
+        "sinkless orientation".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        1
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        2
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        if view.true_degree[c.index()] < 3 {
+            return Verdict::Satisfied;
+        }
+        let mut unlabeled = !view.sees_all_edges_of(c);
+        for &e in view.graph.incident_edges(c) {
+            match view.oriented_out_of(e, c) {
+                Some(true) => return Verdict::Satisfied,
+                Some(false) => {}
+                None => unlabeled = true,
+            }
+        }
+        if unlabeled {
+            Verdict::Undetermined
+        } else {
+            Verdict::Violated
+        }
+    }
+}
+
+/// Almost-balanced orientation: `|indeg − outdeg| ≤ 1` at every node
+/// (edge labels encode orientation relative to UIDs; radius 1).
+/// This is the LCL form of the paper's Contribution 3 output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlmostBalancedOrientation;
+
+impl Lcl for AlmostBalancedOrientation {
+    fn name(&self) -> String {
+        "almost-balanced orientation".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        1
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        2
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let d = view.true_degree[c.index()];
+        if !view.sees_all_edges_of(c) {
+            return Verdict::Undetermined;
+        }
+        let mut out = 0usize;
+        let mut free = 0usize;
+        for &e in view.graph.incident_edges(c) {
+            match view.oriented_out_of(e, c) {
+                Some(true) => out += 1,
+                Some(false) => {}
+                None => free += 1,
+            }
+        }
+        // Feasible out-degrees are [out, out + free]; balanced needs
+        // |2·out' − d| ≤ 1 for some out' in that range.
+        let lo = 2 * out;
+        let hi = 2 * (out + free);
+        let feasible = lo <= d + 1 && hi + 1 >= d;
+        if !feasible {
+            Verdict::Violated
+        } else if free == 0 {
+            Verdict::Satisfied
+        } else {
+            Verdict::Undetermined
+        }
+    }
+}
+
+/// Splitting (Section 5): a red/blue edge coloring with equally many red
+/// and blue edges at every node (requires even degrees; radius 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Splitting;
+
+impl Lcl for Splitting {
+    fn name(&self) -> String {
+        "splitting (balanced red/blue edge coloring)".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        1
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        2
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let d = view.true_degree[c.index()];
+        if d % 2 != 0 {
+            return Verdict::Violated; // problem only defined on even degrees
+        }
+        if !view.sees_all_edges_of(c) {
+            return Verdict::Undetermined;
+        }
+        let mut red = 0usize;
+        let mut free = 0usize;
+        for &e in view.graph.incident_edges(c) {
+            match view.edge_label(e) {
+                Some(0) => red += 1,
+                Some(_) => {}
+                None => free += 1,
+            }
+        }
+        // Need red' = d/2 for some red' in [red, red + free].
+        if red > d / 2 || red + free < d / 2 {
+            Verdict::Violated
+        } else if free == 0 {
+            Verdict::Satisfied
+        } else {
+            Verdict::Undetermined
+        }
+    }
+}
+
+/// Proper edge `k`-coloring (edge labels `0..k`; radius 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProperEdgeColoring {
+    k: usize,
+}
+
+impl ProperEdgeColoring {
+    /// A proper edge-coloring problem with `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one color");
+        ProperEdgeColoring { k }
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Lcl for ProperEdgeColoring {
+    fn name(&self) -> String {
+        format!("proper {}-edge-coloring", self.k)
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        1
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        self.k
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let mut seen = vec![false; self.k];
+        let mut free = !view.sees_all_edges_of(c);
+        for &e in view.graph.incident_edges(c) {
+            match view.edge_label(e) {
+                Some(l) if l >= self.k => return Verdict::Violated,
+                Some(l) => {
+                    if seen[l] {
+                        return Verdict::Violated;
+                    }
+                    seen[l] = true;
+                }
+                None => free = true,
+            }
+        }
+        if free {
+            Verdict::Undetermined
+        } else {
+            Verdict::Satisfied
+        }
+    }
+}
+
+/// Weak coloring: every non-isolated node has at least one neighbor of a
+/// different color (node labels `0..k`; radius 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeakColoring {
+    k: usize,
+}
+
+impl WeakColoring {
+    /// A weak coloring problem with `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "weak coloring needs at least two colors");
+        WeakColoring { k }
+    }
+}
+
+impl Lcl for WeakColoring {
+    fn name(&self) -> String {
+        format!("weak {}-coloring", self.k)
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        self.k
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        if view.true_degree[c.index()] == 0 {
+            return Verdict::Satisfied;
+        }
+        let Some(cc) = view.node_label(c) else {
+            return Verdict::Undetermined;
+        };
+        if cc >= self.k {
+            return Verdict::Violated;
+        }
+        let mut any_unlabeled = !view.sees_all_edges_of(c);
+        for &u in view.graph.neighbors(c) {
+            match view.node_label(u) {
+                Some(l) if l != cc => return Verdict::Satisfied,
+                Some(_) => {}
+                None => any_unlabeled = true,
+            }
+        }
+        if any_unlabeled {
+            Verdict::Undetermined
+        } else {
+            Verdict::Violated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::{generators, Graph};
+
+    fn full_view<'a>(
+        g: &'a Graph,
+        center: NodeId,
+        uids: &'a [u64],
+        deg: &'a [usize],
+        nl: &'a [Option<usize>],
+        el: &'a [Option<usize>],
+    ) -> LclView<'a> {
+        LclView {
+            graph: g,
+            center,
+            uids,
+            true_degree: deg,
+            node_inputs: ZERO_INPUTS,
+            node_labels: nl,
+            edge_labels: el,
+        }
+    }
+
+    const ZERO_INPUTS: &[usize] = &[0; 16];
+
+    fn setup(g: &Graph) -> (Vec<u64>, Vec<usize>) {
+        let uids: Vec<u64> = (1..=g.n() as u64).collect();
+        let deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        (uids, deg)
+    }
+
+    #[test]
+    fn proper_coloring_verdicts() {
+        let g = generators::path(3);
+        let (uids, deg) = setup(&g);
+        let pc = ProperColoring::new(2);
+        let el = vec![None, None];
+        let ok = vec![Some(0), Some(1), Some(0)];
+        assert_eq!(
+            pc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &ok, &el)),
+            Verdict::Satisfied
+        );
+        let bad = vec![Some(0), Some(0), Some(0)];
+        assert_eq!(
+            pc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &bad, &el)),
+            Verdict::Violated
+        );
+        let partial = vec![Some(0), Some(1), None];
+        assert_eq!(
+            pc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &partial, &el)),
+            Verdict::Undetermined
+        );
+        // Unlabeled center with both colors blocked.
+        let blocked = vec![Some(0), None, Some(1)];
+        assert_eq!(
+            pc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &blocked, &el)),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn mis_verdicts() {
+        let g = generators::path(3);
+        let (uids, deg) = setup(&g);
+        let el = vec![None, None];
+        let ok = vec![Some(1), Some(0), Some(1)];
+        assert_eq!(
+            Mis.verdict(&full_view(&g, NodeId(1), &uids, &deg, &ok, &el)),
+            Verdict::Satisfied
+        );
+        let adjacent_ones = vec![Some(1), Some(1), Some(0)];
+        assert_eq!(
+            Mis.verdict(&full_view(&g, NodeId(0), &uids, &deg, &adjacent_ones, &el)),
+            Verdict::Violated
+        );
+        let not_maximal = vec![Some(0), Some(0), Some(0)];
+        assert_eq!(
+            Mis.verdict(&full_view(&g, NodeId(1), &uids, &deg, &not_maximal, &el)),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn matching_verdicts() {
+        let g = generators::path(4); // edges 0-1, 1-2, 2-3
+        let (uids, deg) = setup(&g);
+        let nl = vec![None; 4];
+        let ok = vec![Some(1), Some(0), Some(1)];
+        for v in g.nodes() {
+            assert_eq!(
+                MaximalMatching.verdict(&full_view(&g, v, &uids, &deg, &nl, &ok)),
+                Verdict::Satisfied,
+                "node {v:?}"
+            );
+        }
+        let double = vec![Some(1), Some(1), Some(0)];
+        assert_eq!(
+            MaximalMatching.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &double)),
+            Verdict::Violated
+        );
+        // Middle edge only: 0 and 3 unmatched but their neighbors matched — valid.
+        let middle = vec![Some(0), Some(1), Some(0)];
+        assert_eq!(
+            MaximalMatching.verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &middle)),
+            Verdict::Satisfied
+        );
+        // Nothing matched: not maximal.
+        let none = vec![Some(0), Some(0), Some(0)];
+        assert_eq!(
+            MaximalMatching.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &none)),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn sinkless_verdicts() {
+        let g = generators::star(3); // center has degree 3
+        let (uids, deg) = setup(&g);
+        let nl = vec![None; 4];
+        // All edges oriented toward the center (uid of center = 1, smallest,
+        // so center→leaf is label 0; leaf→center is label 1).
+        let all_in = vec![Some(1), Some(1), Some(1)];
+        assert_eq!(
+            SinklessOrientation.verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &all_in)),
+            Verdict::Violated
+        );
+        let one_out = vec![Some(0), Some(1), Some(1)];
+        assert_eq!(
+            SinklessOrientation.verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &one_out)),
+            Verdict::Satisfied
+        );
+        // Leaves have degree < 3: always satisfied.
+        assert_eq!(
+            SinklessOrientation.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &all_in)),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn almost_balanced_verdicts() {
+        let g = generators::star(4);
+        let (uids, deg) = setup(&g);
+        let nl = vec![None; 5];
+        // Center uid 1 smallest: label 0 = center→leaf (outgoing for center).
+        let two_two = vec![Some(0), Some(0), Some(1), Some(1)];
+        assert_eq!(
+            AlmostBalancedOrientation
+                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &two_two)),
+            Verdict::Satisfied
+        );
+        let all_out = vec![Some(0); 4];
+        assert_eq!(
+            AlmostBalancedOrientation
+                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &all_out)),
+            Verdict::Violated
+        );
+        // Three assigned outgoing, one free: best case 3-1 — violated.
+        let three_out = vec![Some(0), Some(0), Some(0), None];
+        assert_eq!(
+            AlmostBalancedOrientation
+                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &three_out)),
+            Verdict::Violated
+        );
+        let two_free = vec![Some(0), Some(0), None, None];
+        assert_eq!(
+            AlmostBalancedOrientation
+                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &two_free)),
+            Verdict::Undetermined
+        );
+    }
+
+    #[test]
+    fn splitting_verdicts() {
+        let g = generators::star(4);
+        let (uids, deg) = setup(&g);
+        let nl = vec![None; 5];
+        let balanced = vec![Some(0), Some(0), Some(1), Some(1)];
+        assert_eq!(
+            Splitting.verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &balanced)),
+            Verdict::Satisfied
+        );
+        let all_red = vec![Some(0); 4];
+        assert_eq!(
+            Splitting.verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &all_red)),
+            Verdict::Violated
+        );
+        // Odd degree is outright invalid for splitting.
+        let g3 = generators::star(3);
+        let (u3, d3) = setup(&g3);
+        let e3 = vec![None; 3];
+        let n3 = vec![None; 4];
+        assert_eq!(
+            Splitting.verdict(&full_view(&g3, NodeId(0), &u3, &d3, &n3, &e3)),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn edge_coloring_verdicts() {
+        let g = generators::path(3);
+        let (uids, deg) = setup(&g);
+        let nl = vec![None; 3];
+        let ec = ProperEdgeColoring::new(2);
+        let ok = vec![Some(0), Some(1)];
+        assert_eq!(
+            ec.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &ok)),
+            Verdict::Satisfied
+        );
+        let clash = vec![Some(0), Some(0)];
+        assert_eq!(
+            ec.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &clash)),
+            Verdict::Violated
+        );
+        let oob = vec![Some(5), Some(1)];
+        assert_eq!(
+            ec.verdict(&full_view(&g, NodeId(1), &uids, &deg, &nl, &oob)),
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn weak_coloring_verdicts() {
+        let g = generators::path(3);
+        let (uids, deg) = setup(&g);
+        let el = vec![None, None];
+        let wc = WeakColoring::new(2);
+        let ok = vec![Some(0), Some(1), Some(1)];
+        assert_eq!(
+            wc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &ok, &el)),
+            Verdict::Satisfied
+        );
+        let mono = vec![Some(0), Some(0), Some(0)];
+        assert_eq!(
+            wc.verdict(&full_view(&g, NodeId(1), &uids, &deg, &mono, &el)),
+            Verdict::Violated
+        );
+    }
+}
+
+/// Minimal dominating set: every node is dominated (has a set member in
+/// its closed neighborhood) and every set member has a *private* dominated
+/// node (radius 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimalDominatingSet;
+
+impl MinimalDominatingSet {
+    /// `Some(true)` if `u`'s closed neighborhood certainly contains a set
+    /// member, `Some(false)` if certainly not, `None` if undetermined.
+    fn dominated(view: &LclView<'_>, u: NodeId) -> Option<bool> {
+        let mut unknown = false;
+        if view.node_label(u) == Some(1) {
+            return Some(true);
+        }
+        if view.node_label(u).is_none() {
+            unknown = true;
+        }
+        for &w in view.graph.neighbors(u) {
+            match view.node_label(w) {
+                Some(1) => return Some(true),
+                Some(_) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown || !view.sees_all_edges_of(u) {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Whether `u` is dominated *only* by `v` (certainly / certainly-not /
+    /// unknown).
+    fn privately_dominated_by(view: &LclView<'_>, u: NodeId, v: NodeId) -> Option<bool> {
+        let mut unknown = !view.sees_all_edges_of(u);
+        let in_closed = |w: NodeId| -> Option<bool> {
+            match view.node_label(w) {
+                Some(1) => Some(true),
+                Some(_) => Some(false),
+                None => None,
+            }
+        };
+        // v itself must be in the set (caller guarantees) and in N[u].
+        let mut other_dominator = false;
+        if u != v {
+            match in_closed(u) {
+                Some(true) => other_dominator = true,
+                Some(false) => {}
+                None => unknown = true,
+            }
+        }
+        for &w in view.graph.neighbors(u) {
+            if w == v {
+                continue;
+            }
+            match in_closed(w) {
+                Some(true) => other_dominator = true,
+                Some(false) => {}
+                None => unknown = true,
+            }
+        }
+        if other_dominator {
+            Some(false)
+        } else if unknown {
+            None
+        } else {
+            Some(true)
+        }
+    }
+}
+
+impl Lcl for MinimalDominatingSet {
+    fn name(&self) -> String {
+        "minimal dominating set".into()
+    }
+
+    fn label_preference(&self) -> Vec<usize> {
+        vec![0, 1] // prefer staying out; domination forces members
+    }
+
+    fn radius(&self) -> usize {
+        2
+    }
+
+    fn node_alphabet(&self) -> usize {
+        2
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        // Domination at the center.
+        match Self::dominated(view, c) {
+            Some(false) => return Verdict::Violated,
+            Some(true) => {}
+            None => return Verdict::Undetermined,
+        }
+        match view.node_label(c) {
+            Some(0) => Verdict::Satisfied,
+            Some(1) => {
+                // Minimality: some u in N[c] privately dominated by c.
+                let mut candidates: Vec<NodeId> = vec![c];
+                candidates.extend(view.graph.neighbors(c));
+                let mut any_unknown = !view.sees_all_edges_of(c);
+                for u in candidates {
+                    match Self::privately_dominated_by(view, u, c) {
+                        Some(true) => return Verdict::Satisfied,
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                if any_unknown {
+                    Verdict::Undetermined
+                } else {
+                    Verdict::Violated
+                }
+            }
+            Some(_) => Verdict::Violated,
+            None => Verdict::Undetermined,
+        }
+    }
+}
+
+/// Minimal vertex cover: every edge is covered, and every cover member has
+/// an incident edge it covers alone (radius 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimalVertexCover;
+
+impl Lcl for MinimalVertexCover {
+    fn name(&self) -> String {
+        "minimal vertex cover".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        2
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let labels: Vec<Option<usize>> = view
+            .graph
+            .neighbors(c)
+            .iter()
+            .map(|&u| view.node_label(u))
+            .collect();
+        match view.node_label(c) {
+            Some(0) => {
+                // All incident edges must be covered by the other side.
+                if labels.iter().flatten().any(|&l| l == 0) {
+                    return Verdict::Violated;
+                }
+                if view.sees_all_edges_of(c) && labels.iter().all(Option::is_some) {
+                    Verdict::Satisfied
+                } else {
+                    Verdict::Undetermined
+                }
+            }
+            Some(1) => {
+                // Minimality witness: some neighbor outside the cover.
+                // Isolated cover nodes are never minimal.
+                if labels.iter().flatten().any(|&l| l == 0) {
+                    return Verdict::Satisfied;
+                }
+                if view.sees_all_edges_of(c) && labels.iter().all(Option::is_some) {
+                    Verdict::Violated
+                } else {
+                    Verdict::Undetermined
+                }
+            }
+            Some(_) => Verdict::Violated,
+            None => Verdict::Undetermined,
+        }
+    }
+}
+
+/// Distance-2 proper `k`-coloring: nodes within distance 2 get different
+/// colors (radius 2) — the classic ingredient of CONGEST/LOCAL coloring
+/// pipelines and of the paper's distance-`(5x)` clustering colorings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceTwoColoring {
+    k: usize,
+}
+
+impl DistanceTwoColoring {
+    /// A distance-2 coloring problem with `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        DistanceTwoColoring { k }
+    }
+}
+
+impl Lcl for DistanceTwoColoring {
+    fn name(&self) -> String {
+        format!("distance-2 {}-coloring", self.k)
+    }
+
+    fn radius(&self) -> usize {
+        2
+    }
+
+    fn node_alphabet(&self) -> usize {
+        self.k
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        let Some(cc) = view.node_label(c) else {
+            return Verdict::Undetermined;
+        };
+        if cc >= self.k {
+            return Verdict::Violated;
+        }
+        // Collect everything within distance 2 of the center.
+        let mut within = Vec::new();
+        let mut complete = view.sees_all_edges_of(c);
+        for &u in view.graph.neighbors(c) {
+            within.push(u);
+            if view.sees_all_edges_of(u) {
+                for &w in view.graph.neighbors(u) {
+                    if w != c {
+                        within.push(w);
+                    }
+                }
+            } else {
+                complete = false;
+            }
+        }
+        within.sort_unstable();
+        within.dedup();
+        let mut unknown = !complete;
+        for u in within {
+            if u == c {
+                continue;
+            }
+            match view.node_label(u) {
+                Some(l) if l == cc => return Verdict::Violated,
+                Some(_) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            Verdict::Undetermined
+        } else {
+            Verdict::Satisfied
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::brute;
+    use crate::verify::verify_centralized;
+    use crate::Labeling;
+    use lad_graph::generators;
+    use lad_runtime::Network;
+
+    fn uids(n: usize) -> Vec<u64> {
+        (1..=n as u64).collect()
+    }
+
+    #[test]
+    fn minimal_dominating_set_solved_by_brute_force() {
+        for g in [generators::path(7), generators::cycle(8), generators::star(4)] {
+            let n = g.n();
+            let (nl, _) = brute::solve(&g, &uids(n), &MinimalDominatingSet, 5_000_000)
+                .expect("dominating sets always exist");
+            let net = Network::with_identity_ids(g);
+            let l = Labeling::from_node_labels(nl, net.graph().m());
+            assert!(
+                verify_centralized(&net, &MinimalDominatingSet, &l).is_empty(),
+                "invalid on {:?}",
+                net.graph()
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_dominating_set_rejects_redundant_member() {
+        // On a star, {center} dominates; {center, leaf} is not minimal.
+        let g = generators::star(3);
+        let net = Network::with_identity_ids(g);
+        let good = Labeling::from_node_labels(vec![1, 0, 0, 0], net.graph().m());
+        assert!(verify_centralized(&net, &MinimalDominatingSet, &good).is_empty());
+        let redundant = Labeling::from_node_labels(vec![1, 1, 0, 0], net.graph().m());
+        assert!(!verify_centralized(&net, &MinimalDominatingSet, &redundant).is_empty());
+        let undominated = Labeling::from_node_labels(vec![0, 1, 1, 1], net.graph().m());
+        // Leaves dominate themselves and the center; this IS a valid
+        // minimal dominating set on a star? Each leaf privately dominates
+        // itself, and the center is dominated — valid.
+        assert!(verify_centralized(&net, &MinimalDominatingSet, &undominated).is_empty());
+        let empty = Labeling::from_node_labels(vec![0, 0, 0, 0], net.graph().m());
+        assert!(!verify_centralized(&net, &MinimalDominatingSet, &empty).is_empty());
+    }
+
+    #[test]
+    fn minimal_vertex_cover_on_path() {
+        let g = generators::path(4); // edges 0-1,1-2,2-3
+        let net = Network::with_identity_ids(g);
+        let good = Labeling::from_node_labels(vec![0, 1, 1, 0], net.graph().m());
+        assert!(verify_centralized(&net, &MinimalVertexCover, &good).is_empty());
+        // Uncovered edge 2-3.
+        let bad = Labeling::from_node_labels(vec![0, 1, 0, 0], net.graph().m());
+        assert!(!verify_centralized(&net, &MinimalVertexCover, &bad).is_empty());
+        // Not minimal: node 0 has no uncovered-side witness.
+        let fat = Labeling::from_node_labels(vec![1, 1, 1, 0], net.graph().m());
+        assert!(!verify_centralized(&net, &MinimalVertexCover, &fat).is_empty());
+    }
+
+    #[test]
+    fn minimal_vertex_cover_brute_force() {
+        let g = generators::cycle(7);
+        let (nl, _) = brute::solve(&g, &uids(7), &MinimalVertexCover, 5_000_000).unwrap();
+        let net = Network::with_identity_ids(g);
+        let l = Labeling::from_node_labels(nl, net.graph().m());
+        assert!(verify_centralized(&net, &MinimalVertexCover, &l).is_empty());
+    }
+
+    #[test]
+    fn distance_two_coloring() {
+        let g = generators::cycle(9);
+        // Distance-2 coloring of C9 with 3 colors: 0,1,2 repeating.
+        let net = Network::with_identity_ids(g);
+        let good = Labeling::from_node_labels(
+            vec![0, 1, 2, 0, 1, 2, 0, 1, 2],
+            net.graph().m(),
+        );
+        let lcl = DistanceTwoColoring::new(3);
+        assert!(verify_centralized(&net, &lcl, &good).is_empty());
+        // A proper-but-not-distance-2 coloring fails.
+        let bad = Labeling::from_node_labels(
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 2],
+            net.graph().m(),
+        );
+        assert!(!verify_centralized(&net, &lcl, &bad).is_empty());
+    }
+
+    #[test]
+    fn distance_two_brute_force_matches_power_graph_coloring() {
+        let g = generators::path(8);
+        let (nl, _) = brute::solve(&g, &uids(8), &DistanceTwoColoring::new(3), 5_000_000).unwrap();
+        // Validate against the power graph directly.
+        let g2 = lad_graph::power::power_graph(&g, 2);
+        assert!(lad_graph::coloring::is_proper_k_coloring(&g2, &nl, 3));
+    }
+}
+
+/// Precolored proper `k`-coloring — an *input-labeled* LCL (`Σ_in`
+/// nontrivial, as in the paper's formal Definition of LCLs): input `0`
+/// means free, input `i ≥ 1` forces output color `i − 1`; outputs must be
+/// a proper `k`-coloring (radius 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecoloredColoring {
+    k: usize,
+}
+
+impl PrecoloredColoring {
+    /// A precolored-extension problem with `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        PrecoloredColoring { k }
+    }
+
+    /// Size of the input alphabet (`k + 1`: free plus one tag per color).
+    pub fn input_alphabet(&self) -> usize {
+        self.k + 1
+    }
+}
+
+impl Lcl for PrecoloredColoring {
+    fn name(&self) -> String {
+        format!("precolored {}-coloring", self.k)
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn node_alphabet(&self) -> usize {
+        self.k
+    }
+
+    fn edge_alphabet(&self) -> usize {
+        1
+    }
+
+    fn verdict(&self, view: &LclView<'_>) -> Verdict {
+        let c = view.center;
+        // The pin constraint at the center.
+        let pin = view.node_input(c);
+        if let Some(cc) = view.node_label(c) {
+            if cc >= self.k {
+                return Verdict::Violated;
+            }
+            if pin >= 1 && cc != pin - 1 {
+                return Verdict::Violated;
+            }
+        }
+        // Plus ordinary properness.
+        ProperColoring::new(self.k).verdict(view)
+    }
+}
+
+#[cfg(test)]
+mod precolored_tests {
+    use super::*;
+    use crate::brute::{complete, Region};
+    use crate::verify::verify_centralized_in;
+    use crate::Labeling;
+    use lad_graph::generators;
+    use lad_runtime::Network;
+
+    #[test]
+    fn precolored_extension_respects_pins() {
+        // A path with both endpoints pinned to color 0: solvable iff the
+        // endpoint distance is even.
+        for (n, solvable) in [(5usize, true), (6, false)] {
+            let g = generators::path(n);
+            let uids: Vec<u64> = (1..=n as u64).collect();
+            let true_degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+            let mut inputs = vec![0usize; n];
+            inputs[0] = 1; // pin color 0
+            inputs[n - 1] = 1; // pin color 0
+            let lcl = PrecoloredColoring::new(2);
+            let all: Vec<NodeId> = g.nodes().collect();
+            let result = complete(
+                Region {
+                    graph: &g,
+                    uids: &uids,
+                    true_degree: &true_degree,
+                    node_inputs: &inputs,
+                },
+                &lcl,
+                &vec![None; n],
+                &vec![None; g.m()],
+                &all,
+                1_000_000,
+            );
+            assert_eq!(result.is_ok(), solvable, "n = {n}");
+            if let Ok((labels, _)) = result {
+                assert_eq!(labels[0], 0);
+                assert_eq!(labels[n - 1], 0);
+                let net = Network::with_identity_ids(g.clone());
+                let l = Labeling::from_node_labels(labels, g.m());
+                assert!(verify_centralized_in(&net, &lcl, &inputs, &l).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_pin_violations() {
+        let g = generators::path(3);
+        let net = Network::with_identity_ids(g);
+        let lcl = PrecoloredColoring::new(3);
+        let inputs = vec![2, 0, 0]; // node 0 pinned to color 1
+        let ok = Labeling::from_node_labels(vec![1, 0, 1], net.graph().m());
+        assert!(verify_centralized_in(&net, &lcl, &inputs, &ok).is_empty());
+        let bad = Labeling::from_node_labels(vec![0, 1, 0], net.graph().m());
+        assert!(!verify_centralized_in(&net, &lcl, &inputs, &bad).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Verifying labelings against an LCL, both distributedly (ball views, the
+//! honest LOCAL way) and centrally (fast path for encoders and tests).
+
+use crate::view::{Labeling, LclView, Verdict};
+use crate::Lcl;
+use lad_graph::NodeId;
+use lad_runtime::{run_local, Network, RoundStats};
+
+/// Distributed verification: every node gathers its radius-`r` view and
+/// evaluates the constraint. Returns the violating nodes (a conservative
+/// check: `Undetermined` on a complete labeling counts as a violation) and
+/// the measured locality.
+pub fn verify_distributed<In: Clone>(
+    net: &Network<In>,
+    lcl: &dyn Lcl,
+    labeling: &Labeling,
+) -> (Vec<NodeId>, RoundStats) {
+    verify_distributed_in(net, lcl, &vec![0; net.graph().n()], labeling)
+}
+
+/// [`verify_distributed`] with explicit `Σ_in` input labels.
+pub fn verify_distributed_in<In: Clone>(
+    net: &Network<In>,
+    lcl: &dyn Lcl,
+    inputs: &[usize],
+    labeling: &Labeling,
+) -> (Vec<NodeId>, RoundStats) {
+    assert_eq!(labeling.nodes.len(), net.graph().n());
+    assert_eq!(labeling.edges.len(), net.graph().m());
+    assert_eq!(inputs.len(), net.graph().n());
+    let (oks, stats) = run_local(net, |ctx| {
+        let ball = ctx.ball(lcl.radius());
+        let g = ball.graph();
+        let node_labels: Vec<Option<usize>> = g
+            .nodes()
+            .map(|v| Some(labeling.nodes[ball.global_node(v).index()]))
+            .collect();
+        let edge_labels: Vec<Option<usize>> = g
+            .edge_ids()
+            .map(|e| Some(labeling.edges[ball.global_edge(e).index()]))
+            .collect();
+        let true_degree: Vec<usize> = g.nodes().map(|v| ball.global_degree(v)).collect();
+        let node_inputs: Vec<usize> = g
+            .nodes()
+            .map(|v| inputs[ball.global_node(v).index()])
+            .collect();
+        let view = LclView {
+            graph: g,
+            center: ball.center(),
+            uids: ball.uids(),
+            true_degree: &true_degree,
+            node_inputs: &node_inputs,
+            node_labels: &node_labels,
+            edge_labels: &edge_labels,
+        };
+        lcl.verdict(&view) == Verdict::Satisfied
+    });
+    let violations = net
+        .graph()
+        .nodes()
+        .filter(|v| !oks[v.index()])
+        .collect();
+    (violations, stats)
+}
+
+/// Centralized verification: evaluates every node's constraint against the
+/// full graph directly. Returns the violating nodes.
+pub fn verify_centralized<In>(
+    net: &Network<In>,
+    lcl: &dyn Lcl,
+    labeling: &Labeling,
+) -> Vec<NodeId> {
+    verify_centralized_in(net, lcl, &vec![0; net.graph().n()], labeling)
+}
+
+/// [`verify_centralized`] with explicit `Σ_in` input labels.
+pub fn verify_centralized_in<In>(
+    net: &Network<In>,
+    lcl: &dyn Lcl,
+    inputs: &[usize],
+    labeling: &Labeling,
+) -> Vec<NodeId> {
+    let g = net.graph();
+    assert_eq!(inputs.len(), g.n());
+    assert_eq!(labeling.nodes.len(), g.n());
+    assert_eq!(labeling.edges.len(), g.m());
+    let node_labels: Vec<Option<usize>> = labeling.nodes.iter().map(|&l| Some(l)).collect();
+    let edge_labels: Vec<Option<usize>> = labeling.edges.iter().map(|&l| Some(l)).collect();
+    let true_degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    g.nodes()
+        .filter(|&v| {
+            let view = LclView {
+                graph: g,
+                center: v,
+                uids: net.uids(),
+                true_degree: &true_degree,
+                node_inputs: inputs,
+                node_labels: &node_labels,
+                edge_labels: &edge_labels,
+            };
+            lcl.verdict(&view) != Verdict::Satisfied
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Mis, ProperColoring};
+    use lad_graph::generators;
+
+    #[test]
+    fn distributed_and_centralized_agree() {
+        let net = Network::with_identity_ids(generators::cycle(8));
+        let lcl = ProperColoring::new(2);
+        let good = Labeling::from_node_labels(vec![0, 1, 0, 1, 0, 1, 0, 1], 8);
+        let bad = Labeling::from_node_labels(vec![0, 1, 0, 1, 0, 1, 1, 1], 8);
+        let (v1, stats) = verify_distributed(&net, &lcl, &good);
+        assert!(v1.is_empty());
+        assert_eq!(stats.rounds(), 1);
+        assert!(verify_centralized(&net, &lcl, &good).is_empty());
+        let (v2, _) = verify_distributed(&net, &lcl, &bad);
+        let v3 = verify_centralized(&net, &lcl, &bad);
+        assert_eq!(v2, v3);
+        assert!(!v2.is_empty());
+    }
+
+    #[test]
+    fn mis_verification() {
+        let net = Network::with_identity_ids(generators::path(5));
+        let good = Labeling::from_node_labels(vec![1, 0, 1, 0, 1], 4);
+        assert!(verify_centralized(&net, &Mis, &good).is_empty());
+        let not_maximal = Labeling::from_node_labels(vec![1, 0, 0, 0, 1], 4);
+        let viols = verify_centralized(&net, &Mis, &not_maximal);
+        assert_eq!(viols, vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Views and labelings for LCL checking.
+
+use lad_graph::{EdgeId, Graph, NodeId};
+
+/// The outcome of evaluating an LCL constraint on a partial labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every completion satisfies the constraint.
+    Satisfied,
+    /// No completion satisfies the constraint.
+    Violated,
+    /// Not enough labels to decide.
+    Undetermined,
+}
+
+impl Verdict {
+    /// Whether the verdict rules out the labeling.
+    pub fn is_violated(self) -> bool {
+        self == Verdict::Violated
+    }
+}
+
+/// A complete labeling of a graph: one node label per node and one edge
+/// label per edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    /// Node labels indexed by node.
+    pub nodes: Vec<usize>,
+    /// Edge labels indexed by edge.
+    pub edges: Vec<usize>,
+}
+
+impl Labeling {
+    /// A labeling with the given node labels and all-zero edge labels.
+    pub fn from_node_labels(nodes: Vec<usize>, m: usize) -> Self {
+        Labeling {
+            nodes,
+            edges: vec![0; m],
+        }
+    }
+
+    /// A labeling with the given edge labels and all-zero node labels.
+    pub fn from_edge_labels(edges: Vec<usize>, n: usize) -> Self {
+        Labeling {
+            nodes: vec![0; n],
+            edges,
+        }
+    }
+}
+
+/// A (possibly partially labeled) local view handed to
+/// [`crate::Lcl::verdict`].
+///
+/// The `graph` is either a ball-local graph (distributed verification) or a
+/// region graph (brute-force completion); in both cases the constraint at
+/// `center` must be fully determined by the view when all its labels are
+/// `Some`.
+#[derive(Debug, Clone, Copy)]
+pub struct LclView<'a> {
+    /// The view's graph.
+    pub graph: &'a Graph,
+    /// The node whose constraint is being evaluated.
+    pub center: NodeId,
+    /// Unique identifiers, indexed by `graph` node (orientation-style edge
+    /// labels are interpreted relative to these).
+    pub uids: &'a [u64],
+    /// True degrees in the underlying network (a view may clip edges).
+    pub true_degree: &'a [usize],
+    /// Input labels (`Σ_in` of the LCL definition), indexed by `graph`
+    /// node. Problems without inputs see all-zeros.
+    pub node_inputs: &'a [usize],
+    /// Node labels (`None` = not yet assigned), indexed by `graph` node.
+    pub node_labels: &'a [Option<usize>],
+    /// Edge labels (`None` = not yet assigned), indexed by `graph` edge.
+    pub edge_labels: &'a [Option<usize>],
+}
+
+impl<'a> LclView<'a> {
+    /// Whether the view contains all edges of `v` (its view degree matches
+    /// its true degree).
+    pub fn sees_all_edges_of(&self, v: NodeId) -> bool {
+        self.graph.degree(v) == self.true_degree[v.index()]
+    }
+
+    /// The label of `v`, if assigned.
+    pub fn node_label(&self, v: NodeId) -> Option<usize> {
+        self.node_labels[v.index()]
+    }
+
+    /// The input label of `v`.
+    pub fn node_input(&self, v: NodeId) -> usize {
+        self.node_inputs[v.index()]
+    }
+
+    /// The label of `e`, if assigned.
+    pub fn edge_label(&self, e: EdgeId) -> Option<usize> {
+        self.edge_labels[e.index()]
+    }
+
+    /// For an orientation-style edge label (0 = smaller UID → larger UID),
+    /// whether `e` is oriented *out of* `v`, if labeled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn oriented_out_of(&self, e: EdgeId, v: NodeId) -> Option<bool> {
+        let label = self.edge_label(e)?;
+        let u = self.graph.other_endpoint(e, v);
+        let v_is_smaller = self.uids[v.index()] < self.uids[u.index()];
+        Some(if v_is_smaller { label == 0 } else { label == 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn oriented_out_of_respects_uids() {
+        let g = generators::path(2);
+        let uids = [10u64, 5];
+        let deg = [1usize, 1];
+        let nl = [None, None];
+        // Label 0: from smaller uid (node 1) to larger (node 0).
+        let el = [Some(0usize)];
+        let inputs = [0u64 as usize; 2];
+        let view = LclView {
+            graph: &g,
+            center: NodeId(0),
+            uids: &uids,
+            true_degree: &deg,
+            node_inputs: &inputs,
+            node_labels: &nl,
+            edge_labels: &el,
+        };
+        let e = EdgeId(0);
+        assert_eq!(view.oriented_out_of(e, NodeId(1)), Some(true));
+        assert_eq!(view.oriented_out_of(e, NodeId(0)), Some(false));
+    }
+
+    #[test]
+    fn sees_all_edges() {
+        let g = generators::path(3);
+        let uids = [1u64, 2, 3];
+        let deg = [1usize, 5, 2]; // node 1 pretends to have degree 5
+        let view = LclView {
+            graph: &g,
+            center: NodeId(1),
+            uids: &uids,
+            true_degree: &deg,
+            node_inputs: &[0, 0, 0],
+            node_labels: &[None, None, None],
+            edge_labels: &[None, None],
+        };
+        assert!(view.sees_all_edges_of(NodeId(0)));
+        assert!(!view.sees_all_edges_of(NodeId(1)));
+    }
+
+    #[test]
+    fn labeling_constructors() {
+        let l = Labeling::from_node_labels(vec![1, 2], 3);
+        assert_eq!(l.edges, vec![0, 0, 0]);
+        let l = Labeling::from_edge_labels(vec![1], 2);
+        assert_eq!(l.nodes, vec![0, 0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Centralized witness solvers.
+//!
+//! Advice encoders are centralized and computationally unbounded (the
+//! "prover" side of the paper), so they may compute a full solution first
+//! and then encode just enough of it. These helpers produce witness
+//! solutions efficiently where a polynomial algorithm exists, falling back
+//! to [`crate::brute::solve`] otherwise.
+
+use crate::brute::{self, CompleteError};
+use crate::problems::ProperColoring;
+use crate::view::Labeling;
+use lad_graph::{coloring, ruling, EdgeId, Graph, NodeId};
+
+/// A maximal matching computed greedily over edges in id order, as edge
+/// labels (1 = matched).
+pub fn greedy_maximal_matching(g: &Graph) -> Vec<usize> {
+    let mut matched_node = vec![false; g.n()];
+    let mut labels = vec![0usize; g.m()];
+    for (e, (u, v)) in g.edges() {
+        if !matched_node[u.index()] && !matched_node[v.index()] {
+            labels[e.index()] = 1;
+            matched_node[u.index()] = true;
+            matched_node[v.index()] = true;
+        }
+    }
+    labels
+}
+
+/// A maximal independent set as node labels (1 = in the set), greedily in
+/// UID order.
+pub fn greedy_mis_labels(g: &Graph, uids: &[u64]) -> Vec<usize> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| uids[v.index()]);
+    let mis = ruling::greedy_mis(g, &order);
+    let mut labels = vec![0usize; g.n()];
+    for v in mis {
+        labels[v.index()] = 1;
+    }
+    labels
+}
+
+/// A proper `k`-coloring witness: greedy in UID order if it happens to fit
+/// in `k` colors, otherwise exhaustive search (subject to `cap` steps).
+///
+/// # Errors
+///
+/// Propagates [`CompleteError`] when no `k`-coloring exists or the search
+/// budget is exhausted.
+pub fn proper_coloring_witness(
+    g: &Graph,
+    uids: &[u64],
+    k: usize,
+    cap: u64,
+) -> Result<Vec<usize>, CompleteError> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| uids[v.index()]);
+    let greedy = coloring::greedy_coloring(g, &order);
+    if greedy.iter().all(|&c| c < k) {
+        return Ok(greedy);
+    }
+    let (nl, _) = brute::solve(g, uids, &ProperColoring::new(k), cap)?;
+    Ok(nl)
+}
+
+/// Converts a node-label vector into a [`Labeling`] for a graph with `m`
+/// edges.
+pub fn node_labeling(nodes: Vec<usize>, m: usize) -> Labeling {
+    Labeling::from_node_labels(nodes, m)
+}
+
+/// Edge labels encoding an orientation relative to UIDs: label 0 on edge
+/// `{u, v}` means "oriented from the smaller-UID endpoint to the larger".
+pub fn orientation_labels(
+    g: &Graph,
+    uids: &[u64],
+    orientation: &lad_graph::Orientation,
+) -> Vec<usize> {
+    g.edge_ids()
+        .map(|e: EdgeId| {
+            let tail = orientation.tail(g, e);
+            let head = orientation.head(g, e);
+            if uids[tail.index()] < uids[head.index()] {
+                0
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{AlmostBalancedOrientation, MaximalMatching, Mis};
+    use crate::verify::verify_centralized;
+    use lad_graph::{generators, EulerPartition};
+    use lad_runtime::Network;
+
+    #[test]
+    fn greedy_matching_is_maximal() {
+        for seed in 0..5 {
+            let g = generators::random_bounded_degree(60, 6, 120, seed);
+            let labels = greedy_maximal_matching(&g);
+            let net = Network::with_identity_ids(g);
+            let l = Labeling::from_edge_labels(labels, net.graph().n());
+            assert!(verify_centralized(&net, &MaximalMatching, &l).is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_mis_labels_valid() {
+        let g = generators::grid2d(5, 5, false);
+        let uids: Vec<u64> = (1..=25).collect();
+        let labels = greedy_mis_labels(&g, &uids);
+        let net = Network::with_identity_ids(g);
+        let l = Labeling::from_node_labels(labels, net.graph().m());
+        assert!(verify_centralized(&net, &Mis, &l).is_empty());
+    }
+
+    #[test]
+    fn coloring_witness_greedy_path() {
+        let g = generators::cycle(10);
+        let uids: Vec<u64> = (1..=10).collect();
+        let c = proper_coloring_witness(&g, &uids, 3, 1000).unwrap();
+        assert!(coloring::is_proper_k_coloring(&g, &c, 3));
+    }
+
+    #[test]
+    fn coloring_witness_needs_brute_force() {
+        // Odd cycle needs 3 colors but greedy in adversarial uid order can
+        // use 3 anyway; force k = 3 exact on a graph where greedy uses 4:
+        // the 5-wheel (cycle of 5 + hub) is 4-chromatic, so ask for 4.
+        let mut b = lad_graph::GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % 5));
+            b.add_edge(NodeId::from_index(i), NodeId(5));
+        }
+        let g = b.build();
+        let uids: Vec<u64> = (1..=6).collect();
+        let c = proper_coloring_witness(&g, &uids, 4, 1_000_000).unwrap();
+        assert!(coloring::is_proper_k_coloring(&g, &c, 4));
+        assert!(proper_coloring_witness(&g, &uids, 3, 1_000_000).is_err());
+    }
+
+    #[test]
+    fn orientation_labels_roundtrip() {
+        let g = generators::random_even_degree(30, 5, 6, 2);
+        let uids: Vec<u64> = (1..=30).collect();
+        let o = EulerPartition::new(&g, &uids).orient_all_forward(&g);
+        let labels = orientation_labels(&g, &uids, &o);
+        let net = Network::with_identity_ids(g);
+        let l = Labeling::from_edge_labels(labels, net.graph().n());
+        assert!(verify_centralized(&net, &AlmostBalancedOrientation, &l).is_empty());
+    }
+}

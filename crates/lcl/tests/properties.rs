@@ -1,0 +1,187 @@
+//! Property tests for the LCL machinery, centered on the *monotonicity
+//! contract* of [`lad_lcl::Lcl::verdict`]: erasing labels from a labeling
+//! may only move verdicts toward `Undetermined` — a `Violated` partial
+//! labeling can never be completed into a satisfied one, and a `Satisfied`
+//! partial labeling can never be completed into a violated one. The
+//! brute-force completion's soundness rests entirely on this.
+
+use lad_graph::{builder, generators, NodeId};
+use lad_lcl::problems::{
+    AlmostBalancedOrientation, DistanceTwoColoring, MaximalMatching, MinimalDominatingSet,
+    MinimalVertexCover, Mis, ProperColoring, ProperEdgeColoring, SinklessOrientation, Splitting,
+    WeakColoring,
+};
+use lad_lcl::{Lcl, LclView, Verdict};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = lad_graph::Graph> {
+    (3usize..14).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(move |pairs| {
+            let mut b = builder::GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Evaluates the verdict of `lcl` at every node of `g` under the given
+/// (possibly partial) labels, with the whole graph as the view.
+fn verdicts(
+    g: &lad_graph::Graph,
+    lcl: &dyn Lcl,
+    node_labels: &[Option<usize>],
+    edge_labels: &[Option<usize>],
+) -> Vec<Verdict> {
+    let uids: Vec<u64> = (1..=g.n() as u64).collect();
+    let true_degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    g.nodes()
+        .map(|v| {
+            lcl.verdict(&LclView {
+                graph: g,
+                center: v,
+                uids: &uids,
+                true_degree: &true_degree,
+                node_inputs: &vec![0; g.n()][..],
+                node_labels,
+                edge_labels,
+            })
+        })
+        .collect()
+}
+
+/// Checks monotonicity of one problem on one graph, for one random full
+/// labeling and one random erasure mask.
+fn check_monotone(
+    g: &lad_graph::Graph,
+    lcl: &dyn Lcl,
+    full_nodes: &[usize],
+    full_edges: &[usize],
+    node_mask: &[bool],
+    edge_mask: &[bool],
+) -> Result<(), TestCaseError> {
+    let full_n: Vec<Option<usize>> = full_nodes.iter().map(|&l| Some(l)).collect();
+    let full_e: Vec<Option<usize>> = full_edges.iter().map(|&l| Some(l)).collect();
+    let part_n: Vec<Option<usize>> = full_nodes
+        .iter()
+        .zip(node_mask)
+        .map(|(&l, &keep)| keep.then_some(l))
+        .collect();
+    let part_e: Vec<Option<usize>> = full_edges
+        .iter()
+        .zip(edge_mask)
+        .map(|(&l, &keep)| keep.then_some(l))
+        .collect();
+    let complete = verdicts(g, lcl, &full_n, &full_e);
+    let partial = verdicts(g, lcl, &part_n, &part_e);
+    for (v, (p, c)) in partial.iter().zip(&complete).enumerate() {
+        match p {
+            Verdict::Satisfied => prop_assert_eq!(
+                *c,
+                Verdict::Satisfied,
+                "{}: node {} partial=Satisfied but complete={:?}",
+                lcl.name(),
+                v,
+                c
+            ),
+            Verdict::Violated => prop_assert_eq!(
+                *c,
+                Verdict::Violated,
+                "{}: node {} partial=Violated but complete={:?}",
+                lcl.name(),
+                v,
+                c
+            ),
+            Verdict::Undetermined => {}
+        }
+        // Complete labelings must always be decided (never Undetermined).
+        prop_assert_ne!(
+            *c,
+            Verdict::Undetermined,
+            "{}: node {} undetermined on a complete labeling",
+            lcl.name(),
+            v
+        );
+    }
+    Ok(())
+}
+
+fn problems() -> Vec<Box<dyn Lcl>> {
+    vec![
+        Box::new(ProperColoring::new(3)),
+        Box::new(ProperColoring::new(2)),
+        Box::new(Mis),
+        Box::new(MaximalMatching),
+        Box::new(SinklessOrientation),
+        Box::new(AlmostBalancedOrientation),
+        Box::new(Splitting),
+        Box::new(ProperEdgeColoring::new(3)),
+        Box::new(WeakColoring::new(2)),
+        Box::new(MinimalDominatingSet),
+        Box::new(MinimalVertexCover),
+        Box::new(DistanceTwoColoring::new(4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn verdicts_are_monotone_under_erasure(
+        g in arb_graph(),
+        seed in 0u64..10_000,
+    ) {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for lcl in problems() {
+            let full_nodes: Vec<usize> = (0..g.n())
+                .map(|_| rng.random_range(0..lcl.node_alphabet()))
+                .collect();
+            let full_edges: Vec<usize> = (0..g.m())
+                .map(|_| rng.random_range(0..lcl.edge_alphabet()))
+                .collect();
+            let node_mask: Vec<bool> = (0..g.n()).map(|_| rng.random_range(0..2) == 1).collect();
+            let edge_mask: Vec<bool> = (0..g.m()).map(|_| rng.random_range(0..2) == 1).collect();
+            check_monotone(&g, lcl.as_ref(), &full_nodes, &full_edges, &node_mask, &edge_mask)?;
+        }
+    }
+
+    #[test]
+    fn label_preferences_are_permutations(_x in 0..1i32) {
+        for lcl in problems() {
+            let mut pref = lcl.label_preference();
+            prop_assert_eq!(pref.len(), lcl.node_alphabet(), "{}", lcl.name());
+            pref.sort_unstable();
+            prop_assert_eq!(pref, (0..lcl.node_alphabet()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn brute_solutions_verify(g in arb_graph(), k in 2usize..4) {
+        // Whenever the search finds a solution, the checker agrees.
+        let uids: Vec<u64> = (1..=g.n() as u64).collect();
+        let lcl = ProperColoring::new(k);
+        if let Ok((nl, _)) = lad_lcl::brute::solve(&g, &uids, &lcl, 200_000) {
+            let net = lad_runtime::Network::with_identity_ids(g.clone());
+            let labeling = lad_lcl::Labeling::from_node_labels(nl, g.m());
+            prop_assert!(lad_lcl::verify::verify_centralized(&net, &lcl, &labeling).is_empty());
+        }
+    }
+}
+
+#[test]
+fn complete_labeling_decided_on_isolated_nodes() {
+    // Degenerate case: isolated nodes must still get decided verdicts.
+    let g = builder::GraphBuilder::new(3).build();
+    for lcl in problems() {
+        let nl: Vec<Option<usize>> = vec![Some(0); 3];
+        let el: Vec<Option<usize>> = vec![];
+        for v in verdicts(&g, lcl.as_ref(), &nl, &el) {
+            assert_ne!(v, Verdict::Undetermined, "{}", lcl.name());
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Radius-`r` views — what a node knows after `r` rounds in the LOCAL model.
+
+use crate::network::Network;
+use lad_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+
+/// The radius-`r` view of a node: the subgraph induced by `N_{≤r}(v)`
+/// *minus* edges between two nodes at distance exactly `r` (those are only
+/// learned after `r + 1` rounds), together with the identifiers, inputs,
+/// and true degrees of every node in it.
+///
+/// Nodes and edges inside the ball use **local** indices; convert with
+/// [`Ball::global_node`] / [`Ball::global_edge`]. Decoders should base all
+/// decisions on unique identifiers (as LOCAL algorithms must), using global
+/// indices only to *address* their outputs.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::generators;
+/// use lad_runtime::{Network, run_local};
+///
+/// let net = Network::with_identity_ids(generators::cycle(8));
+/// let (outs, _) = run_local(&net, |ctx| {
+///     let ball = ctx.ball(3);
+///     (ball.n(), ball.graph().m())
+/// });
+/// // 7 nodes within distance 3; the two frontier nodes' connecting edge
+/// // (at distance 4 around the back) is invisible.
+/// assert!(outs.iter().all(|&(n, m)| n == 7 && m == 6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ball<In = ()> {
+    graph: Graph,
+    center: NodeId,
+    radius: usize,
+    dist: Vec<usize>,
+    uids: Vec<u64>,
+    inputs: Vec<In>,
+    global_degree: Vec<usize>,
+    to_global_node: Vec<NodeId>,
+    to_global_edge: Vec<EdgeId>,
+}
+
+impl<In: Clone> Ball<In> {
+    /// Materializes the radius-`r` view of `center` in `net`.
+    ///
+    /// Work and memory are proportional to the *ball*, not the graph, so
+    /// running a constant-radius decoder at every node of a large network
+    /// stays near-linear overall.
+    pub fn collect(net: &Network<In>, center: NodeId, radius: usize) -> Self {
+        let g = net.graph();
+        // Bounded BFS with ball-sized bookkeeping.
+        let mut local_of: std::collections::HashMap<NodeId, NodeId> =
+            std::collections::HashMap::new();
+        let mut members: Vec<(NodeId, usize)> = vec![(center, 0)];
+        local_of.insert(center, NodeId(0));
+        let mut head = 0usize;
+        while head < members.len() {
+            let (v, d) = members[head];
+            head += 1;
+            if d == radius {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if !local_of.contains_key(&u) {
+                    local_of.insert(u, NodeId::from_index(members.len()));
+                    members.push((u, d + 1));
+                }
+            }
+        }
+        let to_global_node: Vec<NodeId> = members.iter().map(|&(v, _)| v).collect();
+        let dist: Vec<usize> = members.iter().map(|&(_, d)| d).collect();
+        let mut b = GraphBuilder::new(members.len());
+        let mut edge_pairs = Vec::new();
+        for (li, &(v, d)) in members.iter().enumerate() {
+            if d == radius {
+                continue; // only edges with an endpoint at distance < r are known
+            }
+            for (&u, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
+                if let Some(&lu) = local_of.get(&u) {
+                    let lv = NodeId::from_index(li);
+                    if b.add_edge(lv, lu) {
+                        edge_pairs.push(((lv.min(lu), lv.max(lu)), e));
+                    }
+                }
+            }
+        }
+        // The builder sorts edges by endpoint pair; replicate that order for
+        // the global-edge map.
+        edge_pairs.sort_by_key(|&(pair, _)| pair);
+        let to_global_edge: Vec<EdgeId> = edge_pairs.into_iter().map(|(_, e)| e).collect();
+        let graph = b.build();
+        debug_assert_eq!(graph.m(), to_global_edge.len());
+        let uids = to_global_node.iter().map(|&v| net.uid(v)).collect();
+        let inputs = to_global_node
+            .iter()
+            .map(|&v| net.input(v).clone())
+            .collect();
+        let global_degree = to_global_node.iter().map(|&v| g.degree(v)).collect();
+        Ball {
+            graph,
+            center: NodeId(0),
+            radius,
+            dist,
+            uids,
+            inputs,
+            global_degree,
+            to_global_node,
+            to_global_edge,
+        }
+    }
+}
+
+impl<In> Ball<In> {
+    /// Assembles a ball from raw parts — used by
+    /// [`crate::gather`] to build views out of *received messages* rather
+    /// than direct graph access. The center must be local index 0.
+    ///
+    /// Assembled balls carry no global names: [`Ball::global_node`] and
+    /// [`Ball::global_edge`] return the local indices themselves, so
+    /// algorithms that address outputs globally should run on collected
+    /// balls (or address by identifier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part lengths disagree or node 0 is not at distance 0.
+    pub fn assemble(
+        graph: Graph,
+        radius: usize,
+        dist: Vec<usize>,
+        uids: Vec<u64>,
+        inputs: Vec<In>,
+        global_degree: Vec<usize>,
+    ) -> Self {
+        let n = graph.n();
+        assert!(n > 0 && dist[0] == 0, "center must be local index 0");
+        assert!(dist.len() == n && uids.len() == n && inputs.len() == n);
+        assert_eq!(global_degree.len(), n);
+        let to_global_node = graph.nodes().collect();
+        let to_global_edge = graph.edge_ids().collect();
+        Ball {
+            graph,
+            center: NodeId(0),
+            radius,
+            dist,
+            uids,
+            inputs,
+            global_degree,
+            to_global_node,
+            to_global_edge,
+        }
+    }
+
+    /// Number of nodes in the view.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The view's subgraph (local indices).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The center node (always local index 0).
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The view radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Distance from the center to a local node.
+    pub fn dist(&self, local: NodeId) -> usize {
+        self.dist[local.index()]
+    }
+
+    /// The unique identifier of a local node.
+    pub fn uid(&self, local: NodeId) -> u64 {
+        self.uids[local.index()]
+    }
+
+    /// All identifiers, indexed by local node — in the layout
+    /// `lad_graph::orientation` helpers expect.
+    pub fn uids(&self) -> &[u64] {
+        &self.uids
+    }
+
+    /// The input of a local node.
+    pub fn input(&self, local: NodeId) -> &In {
+        &self.inputs[local.index()]
+    }
+
+    /// The *true* degree of a local node in the underlying network (nodes
+    /// announce their degree, so this is known even at the frontier).
+    pub fn global_degree(&self, local: NodeId) -> usize {
+        self.global_degree[local.index()]
+    }
+
+    /// Whether the view contains *all* edges of `local` — true exactly when
+    /// `dist(local) < radius`. Only then may pairing/slot computations be
+    /// performed at `local`.
+    pub fn knows_all_edges_of(&self, local: NodeId) -> bool {
+        self.dist[local.index()] < self.radius
+            && self.graph.degree(local) == self.global_degree(local)
+    }
+
+    /// The local node carrying identifier `uid`, if present.
+    pub fn node_with_uid(&self, uid: u64) -> Option<NodeId> {
+        self.uids
+            .iter()
+            .position(|&u| u == uid)
+            .map(NodeId::from_index)
+    }
+
+    /// The global name of a local node (for addressing outputs only).
+    pub fn global_node(&self, local: NodeId) -> NodeId {
+        self.to_global_node[local.index()]
+    }
+
+    /// The global name of a local edge (for addressing outputs only).
+    pub fn global_edge(&self, local: EdgeId) -> EdgeId {
+        self.to_global_edge[local.index()]
+    }
+
+    /// The local node corresponding to a global node, if inside the view.
+    pub fn local_node(&self, global: NodeId) -> Option<NodeId> {
+        self.to_global_node
+            .iter()
+            .position(|&v| v == global)
+            .map(NodeId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn ball_on_cycle_excludes_frontier_edge() {
+        let net = Network::with_identity_ids(generators::cycle(6));
+        let ball = Ball::collect(&net, NodeId(0), 3);
+        // Radius 3 on C6 sees all 6 nodes; node 3 is at distance 3, and its
+        // edges to nodes 2 and 4 are known because 2 and 4 are at distance 2.
+        assert_eq!(ball.n(), 6);
+        assert_eq!(ball.graph().m(), 6);
+        let b2 = Ball::collect(&net, NodeId(0), 2);
+        assert_eq!(b2.n(), 5);
+        assert_eq!(b2.graph().m(), 4);
+    }
+
+    #[test]
+    fn center_is_local_zero() {
+        let net = Network::with_identity_ids(generators::grid2d(4, 4, false));
+        let ball = Ball::collect(&net, NodeId(5), 2);
+        assert_eq!(ball.center(), NodeId(0));
+        assert_eq!(ball.global_node(NodeId(0)), NodeId(5));
+        assert_eq!(ball.dist(NodeId(0)), 0);
+        assert_eq!(ball.uid(NodeId(0)), 6);
+    }
+
+    #[test]
+    fn knows_all_edges_only_inside() {
+        let net = Network::with_identity_ids(generators::path(9));
+        let ball = Ball::collect(&net, NodeId(4), 2);
+        for v in ball.graph().nodes() {
+            let expect = ball.dist(v) < 2;
+            assert_eq!(ball.knows_all_edges_of(v), expect, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn global_degree_visible_at_frontier() {
+        let net = Network::with_identity_ids(generators::star(5));
+        // Take a leaf; radius 1 sees the center at the frontier with its
+        // true degree 5 even though only one of its edges is in the view.
+        let ball = Ball::collect(&net, NodeId(1), 1);
+        let center_local = ball.local_node(NodeId(0)).unwrap();
+        assert_eq!(ball.global_degree(center_local), 5);
+        assert_eq!(ball.graph().degree(center_local), 1);
+    }
+
+    #[test]
+    fn global_edge_mapping_consistent() {
+        let net = Network::with_identity_ids(generators::grid2d(3, 3, false));
+        let ball = Ball::collect(&net, NodeId(4), 2);
+        let g = net.graph();
+        for (le, (lu, lv)) in ball.graph().edges() {
+            let ge = ball.global_edge(le);
+            let (gu, gv) = g.endpoints(ge);
+            let mapped = (ball.global_node(lu), ball.global_node(lv));
+            assert!(mapped == (gu, gv) || mapped == (gv, gu));
+        }
+    }
+
+    #[test]
+    fn inputs_travel_with_ball() {
+        let g = generators::path(4);
+        let net = Network::with_identity_ids(g).with_inputs(vec![9, 8, 7, 6]);
+        let ball = Ball::collect(&net, NodeId(3), 1);
+        let local2 = ball.local_node(NodeId(2)).unwrap();
+        assert_eq!(*ball.input(local2), 7);
+    }
+
+    #[test]
+    fn radius_zero_is_lonely() {
+        let net = Network::with_identity_ids(generators::cycle(5));
+        let ball = Ball::collect(&net, NodeId(2), 0);
+        assert_eq!(ball.n(), 1);
+        assert_eq!(ball.graph().m(), 0);
+        assert_eq!(ball.global_degree(NodeId(0)), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-node execution contexts with round accounting.
+
+use crate::ball::Ball;
+use crate::network::Network;
+use lad_graph::NodeId;
+use std::cell::Cell;
+
+/// The handle a LOCAL algorithm runs against at one node.
+///
+/// Everything a node knows *initially* (Section 3.2: its identifier, its
+/// degree, `Δ`, and `n`) is available for free; everything else costs
+/// rounds via [`NodeCtx::ball`]. The largest radius ever requested is
+/// recorded and aggregated into [`crate::RoundStats`].
+pub struct NodeCtx<'a, In = ()> {
+    net: &'a Network<In>,
+    node: NodeId,
+    max_radius: Cell<usize>,
+}
+
+impl<'a, In: Clone> NodeCtx<'a, In> {
+    pub(crate) fn new(net: &'a Network<In>, node: NodeId) -> Self {
+        NodeCtx {
+            net,
+            node,
+            max_radius: Cell::new(0),
+        }
+    }
+
+    /// This node's unique identifier.
+    pub fn uid(&self) -> u64 {
+        self.net.uid(self.node)
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.net.graph().degree(self.node)
+    }
+
+    /// This node's own input.
+    pub fn input(&self) -> &In {
+        self.net.input(self.node)
+    }
+
+    /// Global knowledge: the number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.net.graph().n()
+    }
+
+    /// Global knowledge: the maximum degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        self.net.graph().max_degree()
+    }
+
+    /// The radius-`r` view of this node. Calling with radius `r` commits
+    /// the algorithm to at least `r` rounds.
+    pub fn ball(&self, r: usize) -> Ball<In> {
+        if r > self.max_radius.get() {
+            self.max_radius.set(r);
+        }
+        Ball::collect(self.net, self.node, r)
+    }
+
+    /// The largest radius requested so far.
+    pub fn rounds_used(&self) -> usize {
+        self.max_radius.get()
+    }
+
+    /// The global name of this node — for addressing outputs only; LOCAL
+    /// decisions must be based on [`NodeCtx::uid`].
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn ctx_tracks_max_radius() {
+        let net = Network::with_identity_ids(generators::cycle(10));
+        let ctx = NodeCtx::new(&net, NodeId(0));
+        assert_eq!(ctx.rounds_used(), 0);
+        ctx.ball(2);
+        ctx.ball(1);
+        assert_eq!(ctx.rounds_used(), 2);
+        ctx.ball(4);
+        assert_eq!(ctx.rounds_used(), 4);
+    }
+
+    #[test]
+    fn initial_knowledge_is_free() {
+        let net = Network::with_identity_ids(generators::star(4));
+        let ctx = NodeCtx::new(&net, NodeId(0));
+        assert_eq!(ctx.uid(), 1);
+        assert_eq!(ctx.degree(), 4);
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.max_degree(), 4);
+        assert_eq!(ctx.rounds_used(), 0);
+    }
+}

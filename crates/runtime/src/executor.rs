@@ -1,0 +1,168 @@
+//! Executing a LOCAL algorithm at every node and measuring its locality.
+
+use crate::ctx::NodeCtx;
+use crate::network::Network;
+use lad_graph::NodeId;
+
+/// Round-complexity statistics of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    per_node: Vec<usize>,
+}
+
+impl RoundStats {
+    /// The round complexity: the maximum view radius any node requested.
+    pub fn rounds(&self) -> usize {
+        self.per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The view radius requested by node `v`.
+    pub fn rounds_at(&self, v: NodeId) -> usize {
+        self.per_node[v.index()]
+    }
+
+    /// Mean view radius over nodes.
+    pub fn mean_rounds(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().sum::<usize>() as f64 / self.per_node.len() as f64
+    }
+
+    /// Merges two executions run back to back (radii add: the second
+    /// phase starts after the first finished).
+    pub fn sequential(&self, later: &RoundStats) -> RoundStats {
+        assert_eq!(self.per_node.len(), later.per_node.len());
+        RoundStats {
+            per_node: self
+                .per_node
+                .iter()
+                .zip(&later.per_node)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+/// Runs `algo` independently at every node, returning per-node outputs and
+/// the measured locality.
+///
+/// # Example
+///
+/// ```
+/// use lad_graph::generators;
+/// use lad_runtime::{run_local, Network};
+///
+/// let net = Network::with_identity_ids(generators::path(5));
+/// let (uids, stats) = run_local(&net, |ctx| ctx.uid());
+/// assert_eq!(uids, vec![1, 2, 3, 4, 5]);
+/// assert_eq!(stats.rounds(), 0); // no communication needed
+/// ```
+pub fn run_local<In: Clone, Out>(
+    net: &Network<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Out,
+) -> (Vec<Out>, RoundStats) {
+    let mut outs = Vec::with_capacity(net.graph().n());
+    let mut per_node = Vec::with_capacity(net.graph().n());
+    for v in net.graph().nodes() {
+        let ctx = NodeCtx::new(net, v);
+        outs.push(algo(&ctx));
+        per_node.push(ctx.rounds_used());
+    }
+    (outs, RoundStats { per_node })
+}
+
+/// Like [`run_local`] for fallible algorithms: stops at the first node that
+/// errors. The partial round statistics are discarded on error.
+///
+/// # Errors
+///
+/// Propagates the first per-node error in node-index order.
+pub fn run_local_fallible<In: Clone, Out, E>(
+    net: &Network<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E>,
+) -> Result<(Vec<Out>, RoundStats), E> {
+    let mut outs = Vec::with_capacity(net.graph().n());
+    let mut per_node = Vec::with_capacity(net.graph().n());
+    for v in net.graph().nodes() {
+        let ctx = NodeCtx::new(net, v);
+        outs.push(algo(&ctx)?);
+        per_node.push(ctx.rounds_used());
+    }
+    Ok((outs, RoundStats { per_node }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn local_min_uid_within_radius() {
+        let net = Network::with_identity_ids(generators::cycle(9));
+        let (outs, stats) = run_local(&net, |ctx| {
+            let ball = ctx.ball(2);
+            ball.graph()
+                .nodes()
+                .map(|v| ball.uid(v))
+                .min()
+                .expect("nonempty ball")
+        });
+        assert_eq!(stats.rounds(), 2);
+        assert_eq!(outs[0], 1); // sees uids {8,9,1,2,3} -> 1
+        assert_eq!(outs[4], 3); // sees uids {3,4,5,6,7} -> 3
+    }
+
+    #[test]
+    fn fallible_run_propagates_error() {
+        let net = Network::with_identity_ids(generators::path(4));
+        let res: Result<(Vec<()>, _), String> = run_local_fallible(&net, |ctx| {
+            if ctx.uid() == 3 {
+                Err("boom".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(res.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn stats_sequential_composition() {
+        let net = Network::with_identity_ids(generators::path(4));
+        let (_, s1) = run_local(&net, |ctx| ctx.ball(2).n());
+        let (_, s2) = run_local(&net, |ctx| ctx.ball(3).n());
+        let s = s1.sequential(&s2);
+        assert_eq!(s.rounds(), 5);
+        assert_eq!(s.rounds_at(NodeId(0)), 5);
+    }
+
+    #[test]
+    fn mean_rounds() {
+        let net = Network::with_identity_ids(generators::path(2));
+        let (_, stats) = run_local(&net, |ctx| if ctx.uid() == 1 { ctx.ball(4).n() } else { 0 });
+        assert_eq!(stats.rounds(), 4);
+        assert!((stats.mean_rounds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_radius_stops_early() {
+        // Nodes expand until they see an endpoint of the path.
+        let net = Network::with_identity_ids(generators::path(12));
+        let (_, stats) = run_local(&net, |ctx| {
+            let mut r = 1;
+            loop {
+                let ball = ctx.ball(r);
+                let sees_endpoint = ball
+                    .graph()
+                    .nodes()
+                    .any(|v| ball.global_degree(v) == 1);
+                if sees_endpoint {
+                    return r;
+                }
+                r += 1;
+            }
+        });
+        assert_eq!(stats.rounds_at(NodeId(0)), 1);
+        assert_eq!(stats.rounds(), 5); // middle nodes reach an endpoint in 5
+    }
+}

@@ -1,0 +1,234 @@
+//! Ball views reconstructed over the *explicit* message-passing simulator.
+//!
+//! The ball-view executor ([`crate::run_local`]) materializes radius-`r`
+//! views directly from the graph — fast, but an abstraction. This module
+//! grounds that abstraction: nodes flood their local records
+//! (identifier, degree, neighbor identifiers, input) for `r` synchronous
+//! rounds over [`crate::messaging`], and each node *assembles* its view
+//! from what it actually heard. [`run_gathered`] then applies any
+//! ball-function to the assembled views.
+//!
+//! The integration tests assert that the assembled views are canonically
+//! identical to [`Ball::collect`]'s — the equivalence "`T`-round LOCAL
+//! algorithm = function of the radius-`T` view" made executable.
+
+use crate::ball::Ball;
+use crate::messaging::{run_rounds, LocalInfo, RoundAlgorithm, RoundLimitExceeded};
+use crate::network::Network;
+use lad_graph::{GraphBuilder, NodeId};
+use std::collections::BTreeMap;
+
+/// What every node announces about itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord<In> {
+    /// The node's unique identifier.
+    pub uid: u64,
+    /// Its true degree.
+    pub degree: usize,
+    /// Its neighbors' identifiers (sorted).
+    pub neighbors: Vec<u64>,
+    /// Its input.
+    pub input: In,
+}
+
+/// Per-node gathering state: every record heard so far, with the round it
+/// was first heard in (= its distance from this node).
+struct GatherState<In> {
+    records: BTreeMap<u64, (NodeRecord<In>, usize)>,
+    rounds_done: usize,
+    target: usize,
+}
+
+/// The flooding algorithm: each round, send everything you know.
+struct GatherAlgorithm<In> {
+    radius: usize,
+    _marker: std::marker::PhantomData<In>,
+}
+
+impl<In: Clone> RoundAlgorithm<(In, Vec<u64>)> for GatherAlgorithm<In> {
+    type State = GatherState<In>;
+    type Msg = Vec<NodeRecord<In>>;
+    type Out = GatherState<In>;
+
+    fn init(&self, info: &LocalInfo<(In, Vec<u64>)>) -> GatherState<In> {
+        let (input, neighbors) = info.input.clone();
+        let mut records = BTreeMap::new();
+        records.insert(
+            info.uid,
+            (
+                NodeRecord {
+                    uid: info.uid,
+                    degree: info.degree,
+                    neighbors,
+                    input,
+                },
+                0,
+            ),
+        );
+        GatherState {
+            records,
+            rounds_done: 0,
+            target: self.radius,
+        }
+    }
+
+    fn send(
+        &self,
+        st: &GatherState<In>,
+        info: &LocalInfo<(In, Vec<u64>)>,
+    ) -> Vec<Vec<NodeRecord<In>>> {
+        let all: Vec<NodeRecord<In>> = st.records.values().map(|(r, _)| r.clone()).collect();
+        vec![all; info.degree]
+    }
+
+    fn receive(
+        &self,
+        st: &mut GatherState<In>,
+        _info: &LocalInfo<(In, Vec<u64>)>,
+        inbox: &[Vec<NodeRecord<In>>],
+    ) {
+        st.rounds_done += 1;
+        let round = st.rounds_done;
+        for msgs in inbox {
+            for rec in msgs {
+                st.records
+                    .entry(rec.uid)
+                    .or_insert_with(|| (rec.clone(), round));
+            }
+        }
+    }
+
+    fn output(&self, st: &GatherState<In>) -> Option<GatherState<In>> {
+        (st.rounds_done >= st.target).then(|| GatherState {
+            records: st.records.clone(),
+            rounds_done: st.rounds_done,
+            target: st.target,
+        })
+    }
+}
+
+/// Assembles a [`Ball`] from a gather state, reproducing
+/// [`Ball::collect`]'s semantics exactly: nodes at distance ≤ `r` (their
+/// distance = the round their record first arrived), edges only where one
+/// endpoint is at distance < `r`.
+fn assemble<In: Clone>(st: &GatherState<In>, center_uid: u64) -> Ball<In> {
+    let r = st.target;
+    // Local indexing: BFS-like order (distance, uid) with the center first.
+    let mut members: Vec<(&NodeRecord<In>, usize)> = st
+        .records
+        .values()
+        .filter(|(_, d)| *d <= r)
+        .map(|(rec, d)| (rec, *d))
+        .collect();
+    members.sort_by_key(|(rec, d)| (*d, rec.uid));
+    debug_assert_eq!(members[0].0.uid, center_uid);
+    let index_of: BTreeMap<u64, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, (rec, _))| (rec.uid, i))
+        .collect();
+    let mut b = GraphBuilder::new(members.len());
+    for (rec, d) in &members {
+        if *d >= r {
+            continue; // frontier edges are not known yet
+        }
+        let li = index_of[&rec.uid];
+        for nb in &rec.neighbors {
+            if let Some(&lj) = index_of.get(nb) {
+                b.add_edge(NodeId::from_index(li), NodeId::from_index(lj));
+            }
+        }
+    }
+    let graph = b.build();
+    Ball::assemble(
+        graph,
+        r,
+        members.iter().map(|(_, d)| *d).collect(),
+        members.iter().map(|(rec, _)| rec.uid).collect(),
+        members.iter().map(|(rec, _)| rec.input.clone()).collect(),
+        members.iter().map(|(rec, _)| rec.degree).collect(),
+    )
+}
+
+/// Runs `f` on radius-`radius` views assembled over real message passing.
+/// Returns the per-node outputs and the number of rounds executed
+/// (= `radius`).
+///
+/// # Errors
+///
+/// Propagates the simulator's round limit (cannot trigger for
+/// `radius ≥ 0` budgets, but kept honest).
+pub fn run_gathered<In: Clone, Out>(
+    net: &Network<In>,
+    radius: usize,
+    f: impl Fn(&Ball<In>) -> Out,
+) -> Result<(Vec<Out>, usize), RoundLimitExceeded> {
+    let g = net.graph();
+    // Package each node's static record pieces as its input.
+    let inputs: Vec<(In, Vec<u64>)> = g
+        .nodes()
+        .map(|v| {
+            let mut nbrs: Vec<u64> = g.neighbors(v).iter().map(|&u| net.uid(u)).collect();
+            nbrs.sort_unstable();
+            (net.input(v).clone(), nbrs)
+        })
+        .collect();
+    let msg_net = Network::new(g.clone(), net.ids().clone(), inputs);
+    let algo = GatherAlgorithm {
+        radius,
+        _marker: std::marker::PhantomData,
+    };
+    let (states, rounds) = run_rounds(&msg_net, &algo, radius)?;
+    let outs = g
+        .nodes()
+        .zip(states)
+        .map(|(v, st)| f(&assemble(&st, net.uid(v))))
+        .collect();
+    Ok((outs, rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonicalize;
+    use crate::executor::run_local;
+    use lad_graph::{generators, IdAssignment};
+
+    #[test]
+    fn gathered_views_match_collected_views() {
+        for (g, r) in [
+            (generators::cycle(14), 3),
+            (generators::grid2d(5, 5, false), 2),
+            (generators::star(6), 1),
+            (generators::random_bounded_degree(30, 5, 60, 1), 2),
+        ] {
+            let n = g.n();
+            let net = Network::with_ids(g, IdAssignment::random_permutation(n, 9));
+            let (gathered, rounds) =
+                run_gathered(&net, r, |ball| canonicalize(ball, |_| 0)).unwrap();
+            assert_eq!(rounds, r);
+            let (collected, _) = run_local(&net, |ctx| canonicalize(&ctx.ball(r), |_| 0));
+            assert_eq!(gathered, collected, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn gathered_views_carry_inputs() {
+        let g = generators::path(6);
+        let net = Network::with_identity_ids(g).with_inputs(vec![10, 20, 30, 40, 50, 60]);
+        let (sums, _) = run_gathered(&net, 1, |ball| {
+            ball.graph().nodes().map(|v| *ball.input(v)).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sums[0], 30); // self + one neighbor
+        assert_eq!(sums[2], 90); // 20 + 30 + 40
+    }
+
+    #[test]
+    fn radius_zero_gather() {
+        let net = Network::with_identity_ids(generators::cycle(5));
+        let (outs, rounds) = run_gathered(&net, 0, |ball| ball.n()).unwrap();
+        assert_eq!(rounds, 0);
+        assert!(outs.iter().all(|&k| k == 1));
+    }
+}

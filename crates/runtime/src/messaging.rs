@@ -1,0 +1,225 @@
+//! An explicit synchronous message-passing simulator.
+//!
+//! The ball-view executor ([`crate::run_local`]) is the primary interface,
+//! but some baselines (and tests that want to see real round mechanics) use
+//! this round-by-round simulator instead. Messages are exchanged along
+//! *ports*: node `v`'s port `i` leads to its `i`-th neighbor in sorted
+//! index order, matching [`lad_graph::Graph::port`].
+
+use crate::network::Network;
+
+
+/// What a node knows before the first round.
+#[derive(Debug, Clone)]
+pub struct LocalInfo<In> {
+    /// The node's unique identifier.
+    pub uid: u64,
+    /// The node's degree (= number of ports).
+    pub degree: usize,
+    /// Global knowledge: number of nodes.
+    pub n: usize,
+    /// Global knowledge: maximum degree.
+    pub max_degree: usize,
+    /// The node's input.
+    pub input: In,
+}
+
+/// A synchronous round-based algorithm.
+///
+/// Each round, every non-halted node produces one message per port
+/// ([`RoundAlgorithm::send`]), then consumes the messages arriving on its
+/// ports ([`RoundAlgorithm::receive`]). A node halts by returning `Some`
+/// from [`RoundAlgorithm::output`]; halted nodes keep sending the messages
+/// of their final state (as LOCAL-model nodes may).
+pub trait RoundAlgorithm<In> {
+    /// Per-node mutable state.
+    type State;
+    /// Message type (unbounded size, as the LOCAL model allows).
+    type Msg: Clone;
+    /// Final output type.
+    type Out;
+
+    /// Initial state.
+    fn init(&self, info: &LocalInfo<In>) -> Self::State;
+    /// The message to send on each port this round (length = degree).
+    fn send(&self, state: &Self::State, info: &LocalInfo<In>) -> Vec<Self::Msg>;
+    /// Consumes the message received on each port (length = degree).
+    fn receive(&self, state: &mut Self::State, info: &LocalInfo<In>, inbox: &[Self::Msg]);
+    /// `Some(out)` once the node has terminated.
+    fn output(&self, state: &Self::State) -> Option<Self::Out>;
+}
+
+/// The simulator failed to converge within the round budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundLimitExceeded {
+    /// The budget that was exhausted.
+    pub max_rounds: usize,
+}
+
+impl std::fmt::Display for RoundLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "algorithm did not terminate within {} rounds",
+            self.max_rounds
+        )
+    }
+}
+
+impl std::error::Error for RoundLimitExceeded {}
+
+/// Runs a round algorithm until every node outputs, or the budget runs out.
+///
+/// Returns the outputs and the number of rounds executed (the round in
+/// which the last node terminated).
+///
+/// # Errors
+///
+/// [`RoundLimitExceeded`] if some node never outputs within `max_rounds`.
+pub fn run_rounds<In: Clone, A: RoundAlgorithm<In>>(
+    net: &Network<In>,
+    algo: &A,
+    max_rounds: usize,
+) -> Result<(Vec<A::Out>, usize), RoundLimitExceeded> {
+    let g = net.graph();
+    let n = g.n();
+    let infos: Vec<LocalInfo<In>> = g
+        .nodes()
+        .map(|v| LocalInfo {
+            uid: net.uid(v),
+            degree: g.degree(v),
+            n,
+            max_degree: g.max_degree(),
+            input: net.input(v).clone(),
+        })
+        .collect();
+    let mut states: Vec<A::State> = infos.iter().map(|i| algo.init(i)).collect();
+    let mut outs: Vec<Option<A::Out>> = (0..n).map(|_| None).collect();
+    for v in g.nodes() {
+        if outs[v.index()].is_none() {
+            outs[v.index()] = algo.output(&states[v.index()]);
+        }
+    }
+    if outs.iter().all(Option::is_some) {
+        return Ok((outs.into_iter().map(Option::unwrap).collect(), 0));
+    }
+    for round in 1..=max_rounds {
+        // Collect all outboxes first (synchronous semantics).
+        let outboxes: Vec<Vec<A::Msg>> = g
+            .nodes()
+            .map(|v| {
+                let msgs = algo.send(&states[v.index()], &infos[v.index()]);
+                assert_eq!(
+                    msgs.len(),
+                    g.degree(v),
+                    "send() must produce one message per port"
+                );
+                msgs
+            })
+            .collect();
+        // Deliver: the message on v's port i comes from neighbor u = nbrs[i],
+        // sent on u's port towards v.
+        for v in g.nodes() {
+            let inbox: Vec<A::Msg> = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| {
+                    let port_back = g.port(u, v).expect("symmetric adjacency");
+                    outboxes[u.index()][port_back].clone()
+                })
+                .collect();
+            if outs[v.index()].is_none() {
+                algo.receive(&mut states[v.index()], &infos[v.index()], &inbox);
+                outs[v.index()] = algo.output(&states[v.index()]);
+            }
+        }
+        if outs.iter().all(Option::is_some) {
+            return Ok((outs.into_iter().map(Option::unwrap).collect(), round));
+        }
+    }
+    Err(RoundLimitExceeded { max_rounds })
+}
+
+/// A ready-made round algorithm: synchronous flooding that computes each
+/// node's distance to the nearest *source* (input `true`). Demonstrates the
+/// simulator and doubles as a baseline for "global problems take Ω(diam)
+/// rounds".
+#[derive(Debug, Clone, Default)]
+pub struct FloodDistance;
+
+/// State for [`FloodDistance`].
+#[derive(Debug, Clone)]
+pub struct FloodState {
+    dist: Option<usize>,
+    /// Rounds with no improvement; termination after `n` rounds of silence
+    /// is sound because distances are < n.
+    rounds: usize,
+    n: usize,
+}
+
+impl RoundAlgorithm<bool> for FloodDistance {
+    type State = FloodState;
+    type Msg = Option<usize>;
+    type Out = Option<usize>;
+
+    fn init(&self, info: &LocalInfo<bool>) -> FloodState {
+        FloodState {
+            dist: info.input.then_some(0),
+            rounds: 0,
+            n: info.n,
+        }
+    }
+
+    fn send(&self, st: &FloodState, info: &LocalInfo<bool>) -> Vec<Option<usize>> {
+        vec![st.dist; info.degree]
+    }
+
+    fn receive(&self, st: &mut FloodState, _info: &LocalInfo<bool>, inbox: &[Option<usize>]) {
+        st.rounds += 1;
+        for d in inbox.iter().flatten() {
+            let cand = d + 1;
+            if st.dist.is_none_or(|cur| cand < cur) {
+                st.dist = Some(cand);
+            }
+        }
+    }
+
+    fn output(&self, st: &FloodState) -> Option<Option<usize>> {
+        (st.rounds >= st.n).then_some(st.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::{generators, traversal, NodeId};
+
+    #[test]
+    fn flooding_computes_distances() {
+        let g = generators::grid2d(4, 4, false);
+        let sources: Vec<bool> = g.nodes().map(|v| v.index() == 0).collect();
+        let expected = traversal::bfs_distances(&g, NodeId(0));
+        let net = Network::with_identity_ids(g).with_inputs(sources);
+        let (outs, rounds) = run_rounds(&net, &FloodDistance, 64).unwrap();
+        for (i, d) in outs.iter().enumerate() {
+            assert_eq!(*d, expected[i]);
+        }
+        assert_eq!(rounds, 16); // termination after n rounds of certainty
+    }
+
+    #[test]
+    fn flooding_with_no_source_yields_none() {
+        let g = generators::cycle(5);
+        let net = Network::with_identity_ids(g).with_inputs(vec![false; 5]);
+        let (outs, _) = run_rounds(&net, &FloodDistance, 16).unwrap();
+        assert!(outs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::cycle(10);
+        let net = Network::with_identity_ids(g).with_inputs(vec![false; 10]);
+        let err = run_rounds(&net, &FloodDistance, 3).unwrap_err();
+        assert_eq!(err.max_rounds, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Contribution 1: solve an arbitrary LCL with one bit of advice per node
+//! on a sub-exponential-growth graph, and make the advice as sparse as you
+//! like by growing the cluster spacing.
+//!
+//! ```text
+//! cargo run --release --example lcl_with_sparse_advice
+//! ```
+
+use local_advice::core::lcl_subexp::LclSubexpSchema;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::graph::generators;
+use local_advice::lcl::problems::ProperColoring;
+use local_advice::lcl::{verify, Labeling};
+use local_advice::runtime::Network;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Network::with_identity_ids(generators::cycle(600));
+    let lcl = ProperColoring::new(3);
+    println!("LCL: {} on a 600-cycle (linear growth ⊂ sub-exponential)", lcl_name(&lcl));
+    println!();
+    println!("spacing | ones ratio | decode rounds | valid");
+    println!("--------|------------|---------------|------");
+    for spacing in [20usize, 40, 80, 160] {
+        let schema = LclSubexpSchema::new(&lcl, spacing, 100_000_000);
+        let advice = schema.encode(&net)?;
+        let (labels, stats) = schema.decode(&net, &advice)?;
+        let labeling = Labeling::from_node_labels(labels, net.graph().m());
+        let valid = verify::verify_centralized(&net, &lcl, &labeling).is_empty();
+        println!(
+            "{spacing:>7} | {:>10.4} | {:>13} | {valid}",
+            advice.one_ratio().unwrap_or(f64::NAN),
+            stats.rounds(),
+        );
+    }
+    println!();
+    println!(
+        "The ones ratio falls like 1/spacing — the paper's \"arbitrarily \
+         sparse advice\" — while the round count stays a function of the \
+         spacing alone, never of n."
+    );
+    Ok(())
+}
+
+fn lcl_name(lcl: &impl local_advice::lcl::Lcl) -> String {
+    lcl.name()
+}

@@ -1,0 +1,58 @@
+//! Locally checkable proofs (Section 1.2): the advice *is* a distributed
+//! proof of 3-colorability — one bit per node, verified by decoding and
+//! re-checking every neighborhood. Tampering is caught.
+//!
+//! ```text
+//! cargo run --release --example proof_carrying_graph
+//! ```
+
+use local_advice::core::proofs::{ProofOutcome, ProofSystem};
+use local_advice::core::three_coloring::ThreeColoringSchema;
+use local_advice::core::AdviceMap;
+use local_advice::graph::{generators, NodeId};
+use local_advice::lcl::problems::ProperColoring;
+use local_advice::lcl::Labeling;
+use local_advice::runtime::Network;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (g, _) = generators::random_tripartite([40, 40, 40], 5, 210, 11);
+    let n = g.n();
+    let net = Network::with_identity_ids(g);
+
+    let schema = ThreeColoringSchema::default();
+    let lcl = ProperColoring::new(3);
+    let system = ProofSystem::new(&schema, &lcl, |net: &Network, colors: Vec<usize>| {
+        Labeling::from_node_labels(colors, net.graph().m())
+    });
+
+    // The prover certifies 3-colorability with one bit per node.
+    let certificate = system.prove(&net)?;
+    println!("certificate: 1 bit per node on {n} nodes");
+
+    // The distributed verifier decodes and re-checks every neighborhood.
+    match system.verify(&net, &certificate) {
+        ProofOutcome::Accepted { rounds } => {
+            println!("honest certificate ACCEPTED after {rounds} verifier rounds")
+        }
+        ProofOutcome::Rejected { reason } => panic!("honest certificate rejected: {reason}"),
+    }
+
+    // An adversary flips bits; the verifier never accepts a non-solution.
+    let mut rejected = 0;
+    let trials = 20;
+    for flip in 0..trials {
+        let mut bits: Vec<bool> = (0..n)
+            .map(|i| certificate.get(NodeId::from_index(i)).get(0))
+            .collect();
+        bits[flip * 7 % n] = !bits[flip * 7 % n];
+        match system.verify(&net, &AdviceMap::from_one_bit(&bits)) {
+            ProofOutcome::Rejected { .. } => rejected += 1,
+            // If it still accepts, the decoded labeling passed the LCL
+            // checker, i.e. it *is* a proper 3-coloring — sound either way.
+            ProofOutcome::Accepted { .. } => {}
+        }
+    }
+    println!("tampered certificates: {rejected}/{trials} rejected outright,");
+    println!("the rest decoded to labelings that are still proper (soundness holds).");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Cross-crate property tests: the LOCAL-model contract (outputs are
+//! functions of views), locality of the decoders, and the advice/no-advice
+//! separation.
+
+use local_advice::baselines::no_advice;
+use local_advice::core::balanced::BalancedOrientationSchema;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::graph::{generators, GraphBuilder, IdAssignment, NodeId};
+use local_advice::runtime::messaging::{run_rounds, FloodDistance};
+use local_advice::runtime::{run_local, Network};
+use proptest::prelude::*;
+
+fn arb_connected_network() -> impl Strategy<Value = Network> {
+    (5usize..35, 0u64..300).prop_flat_map(|(n, seed)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..2 * n).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            Network::with_ids(b.build(), IdAssignment::random_permutation(n, seed))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ball-view executor and the explicit message-passing simulator
+    /// agree on BFS distances — two independent realizations of the LOCAL
+    /// model computing the same thing.
+    #[test]
+    fn ball_views_and_messaging_agree(net in arb_connected_network()) {
+        let n = net.graph().n();
+        let sources: Vec<bool> = (0..n).map(|i| i == 0).collect();
+        let msg_net = net.with_inputs(sources.clone());
+        let (via_messages, _) = run_rounds(&msg_net, &FloodDistance, 4 * n).expect("terminates");
+        let (via_balls, _) = run_local(&msg_net, |ctx| {
+            // Expand until the source is visible, then report the distance.
+            let mut r = 0;
+            loop {
+                let ball = ctx.ball(r);
+                if let Some(v) = ball.graph().nodes().find(|&v| *ball.input(v)) {
+                    return Some(ball.dist(v));
+                }
+                if ball.n() == ctx.n() {
+                    return None;
+                }
+                r += 1;
+            }
+        });
+        for v in 0..n {
+            prop_assert_eq!(via_messages[v], via_balls[v]);
+        }
+    }
+
+    /// Decoder locality: rounds never exceed the schema's published radius,
+    /// on any graph, under any identifier assignment.
+    #[test]
+    fn decoder_locality_contract(net in arb_connected_network()) {
+        let schema = BalancedOrientationSchema::new(10, 7);
+        let advice = schema.encode(&net).expect("encode");
+        let (o, stats) = schema.decode(&net, &advice).expect("decode");
+        prop_assert!(o.is_almost_balanced(net.graph()));
+        prop_assert!(stats.rounds() <= schema.decode_radius());
+    }
+
+    /// The no-advice baseline pays (at least) the graph radius on cycles;
+    /// the advice decoder does not.
+    #[test]
+    fn advice_separation_on_cycles(k in 18usize..60) {
+        let n = 2 * k; // even so both baseline and schema apply
+        let net = Network::with_ids(
+            generators::cycle(n),
+            IdAssignment::random_permutation(n, k as u64),
+        );
+        let (o, base_stats) = no_advice::balanced_orientation_no_advice(&net);
+        prop_assert!(o.is_almost_balanced(net.graph()));
+        prop_assert!(base_stats.rounds() >= n / 2);
+        let schema = BalancedOrientationSchema::default();
+        let advice = schema.encode(&net).unwrap();
+        let (_, stats) = schema.decode(&net, &advice).unwrap();
+        prop_assert!(stats.rounds() <= schema.decode_radius());
+        prop_assert!(stats.rounds() < base_stats.rounds());
+    }
+}

@@ -1,0 +1,206 @@
+//! Cross-crate integration: every schema, end to end, on LOCAL-model
+//! networks with adversarial (sparse, shuffled) identifier assignments.
+
+use local_advice::core::balanced::BalancedOrientationSchema;
+use local_advice::core::cluster_coloring::ClusterColoringSchema;
+use local_advice::core::decompress::EdgeSubsetCodec;
+use local_advice::core::delta_coloring::DeltaColoringSchema;
+use local_advice::core::lcl_subexp::LclSubexpSchema;
+use local_advice::core::onebit::OneBitSchema;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::core::splitting::{
+    is_proper_edge_coloring, is_valid_splitting, EdgeColoringSchema, SplittingSchema,
+};
+use local_advice::core::three_coloring::ThreeColoringSchema;
+use local_advice::graph::{coloring, generators, IdAssignment};
+use local_advice::lcl::problems::ProperColoring;
+use local_advice::lcl::{verify, Labeling};
+use local_advice::runtime::Network;
+
+/// Networks with identifiers drawn sparsely from a poly(n) space, as the
+/// LOCAL model allows.
+fn sparse_ids(g: local_advice::graph::Graph, seed: u64) -> Network {
+    let n = g.n();
+    let space = (n as u64).pow(2).max(16);
+    Network::with_ids(g, IdAssignment::random_sparse(n, space, seed))
+}
+
+#[test]
+fn balanced_orientation_across_families_and_ids() {
+    let schema = BalancedOrientationSchema::default();
+    let graphs = vec![
+        generators::cycle(150),
+        generators::path(101),
+        generators::grid2d(9, 9, false),
+        generators::grid2d(7, 7, true),
+        generators::random_bounded_degree(120, 6, 260, 3),
+        generators::random_even_degree(80, 10, 12, 4),
+        generators::hypercube(5),
+        generators::caterpillar(30, 2),
+    ];
+    for (i, g) in graphs.into_iter().enumerate() {
+        let net = sparse_ids(g, 1000 + i as u64);
+        let advice = schema.encode(&net).expect("encode");
+        let (o, stats) = schema.decode(&net, &advice).expect("decode");
+        assert!(o.is_almost_balanced(net.graph()), "graph #{i}");
+        assert!(stats.rounds() <= schema.decode_radius());
+    }
+}
+
+#[test]
+fn one_bit_wrapper_preserves_output() {
+    let net = sparse_ids(generators::cycle(360), 5);
+    let base = BalancedOrientationSchema::new(16, 90);
+    let wrapped = OneBitSchema::new(base, 2);
+    let advice = wrapped.encode(&net).expect("encode");
+    assert_eq!(advice.max_bits(), 1);
+    let (o, _) = wrapped.decode(&net, &advice).expect("decode");
+    assert!(o.is_almost_balanced(net.graph()));
+    // The wrapped decoder agrees with the base decoder edge for edge.
+    let base_advice = base.encode(&net).unwrap();
+    let (base_o, _) = base.decode(&net, &base_advice).unwrap();
+    assert_eq!(o, base_o);
+}
+
+#[test]
+fn decompression_composes_with_orientation_advice() {
+    let g = generators::random_bounded_degree(150, 7, 350, 9);
+    let m = g.m();
+    let net = sparse_ids(g, 6);
+    let subset: Vec<bool> = (0..m).map(|i| i % 5 < 2).collect();
+    let codec = EdgeSubsetCodec::default();
+    let (decoded, advice, stats) = codec.round_trip(&net, &subset).expect("round trip");
+    assert_eq!(decoded, subset);
+    assert!(stats.rounds() <= codec.orientation.decode_radius() + 1);
+    // The embedded orientation is itself almost balanced.
+    let o = codec.orientation_of(&net, &advice).unwrap();
+    assert!(o.is_almost_balanced(net.graph()));
+}
+
+#[test]
+fn coloring_pipeline_stacks() {
+    // cluster (Δ+1) → Δ, then independently the 3-coloring schema, on the
+    // same 3-colorable instance.
+    let (g, _) = generators::random_tripartite([30, 30, 30], 5, 170, 12);
+    let delta = g.max_degree();
+    let net = sparse_ids(g, 8);
+
+    let cluster = ClusterColoringSchema::default();
+    let advice = cluster.encode(&net).unwrap();
+    let (chi1, _) = cluster.decode(&net, &advice).unwrap();
+    assert!(coloring::is_proper_k_coloring(net.graph(), &chi1, delta + 1));
+
+    let full = DeltaColoringSchema::default();
+    let advice = full.encode(&net).unwrap();
+    let (chi, _) = full.decode(&net, &advice).unwrap();
+    assert!(coloring::is_proper_k_coloring(net.graph(), &chi, delta));
+
+    let three = ThreeColoringSchema::default();
+    let advice = three.encode(&net).unwrap();
+    let (chi3, _) = three.decode(&net, &advice).unwrap();
+    assert!(coloring::is_proper_k_coloring(net.graph(), &chi3, 3));
+}
+
+#[test]
+fn splitting_then_edge_coloring() {
+    let g = generators::random_bipartite_regular(20, 4, 31);
+    let net = sparse_ids(g, 10);
+    let split = SplittingSchema::default();
+    let advice = split.encode(&net).unwrap();
+    let (labels, _) = split.decode(&net, &advice).unwrap();
+    assert!(is_valid_splitting(net.graph(), &labels));
+
+    let ec = EdgeColoringSchema::default();
+    let advice = ec.encode(&net).unwrap();
+    let (colors, _) = ec.decode(&net, &advice).unwrap();
+    assert!(is_proper_edge_coloring(net.graph(), &colors, 4));
+}
+
+#[test]
+fn lcl_subexp_with_sparse_ids() {
+    let lcl = ProperColoring::new(3);
+    let net = sparse_ids(generators::cycle(200), 77);
+    let schema = LclSubexpSchema::new(&lcl, 25, 50_000_000);
+    let advice = schema.encode(&net).expect("encode");
+    let (labels, _) = schema.decode(&net, &advice).expect("decode");
+    let labeling = Labeling::from_node_labels(labels, net.graph().m());
+    assert!(verify::verify_centralized(&net, &lcl, &labeling).is_empty());
+}
+
+#[test]
+fn decoded_outputs_pass_distributed_verification() {
+    // The full LOCAL loop: schema decode, then the distributed checker.
+    let net = sparse_ids(generators::cycle(120), 13);
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let (o, _) = schema.decode(&net, &advice).unwrap();
+    let labels = local_advice::lcl::witness::orientation_labels(net.graph(), net.uids(), &o);
+    let labeling = Labeling::from_edge_labels(labels, net.graph().n());
+    let (violations, stats) = verify::verify_distributed(
+        &net,
+        &local_advice::lcl::problems::AlmostBalancedOrientation,
+        &labeling,
+    );
+    assert!(violations.is_empty());
+    assert_eq!(stats.rounds(), 1);
+}
+
+#[test]
+fn identifier_assignment_changes_advice_but_not_validity() {
+    // The paper stresses that advice may depend on identifiers: different
+    // id assignments give different advice, both decode correctly.
+    let g = generators::cycle(100);
+    let schema = BalancedOrientationSchema::default();
+    let net_a = Network::with_ids(g.clone(), IdAssignment::random_permutation(100, 1));
+    let net_b = Network::with_ids(g, IdAssignment::random_permutation(100, 2));
+    let advice_a = schema.encode(&net_a).unwrap();
+    let advice_b = schema.encode(&net_b).unwrap();
+    assert_ne!(advice_a, advice_b, "advice should depend on identifiers");
+    assert!(schema.decode(&net_a, &advice_a).unwrap().0.is_almost_balanced(net_a.graph()));
+    assert!(schema.decode(&net_b, &advice_b).unwrap().0.is_almost_balanced(net_b.graph()));
+    // Swapping the advice across assignments must NOT decode silently into
+    // a wrong orientation: either an error, or (by luck) still balanced.
+    if let Ok((o, _)) = schema.decode(&net_a, &advice_b) {
+        assert!(o.is_almost_balanced(net_a.graph()));
+    }
+}
+
+#[test]
+fn three_coloring_on_disconnected_graph() {
+    let g = generators::disjoint_union(&[
+        generators::cycle(40),
+        generators::cycle(31),
+        generators::path(17),
+    ]);
+    let net = sparse_ids(g, 21);
+    let schema = ThreeColoringSchema::default();
+    let advice = schema.encode(&net).expect("encode");
+    let (colors, _) = schema.decode(&net, &advice).expect("decode");
+    assert!(coloring::is_proper_k_coloring(net.graph(), &colors, 3));
+}
+
+#[test]
+fn delta_coloring_on_disconnected_graph() {
+    let g = generators::disjoint_union(&[
+        generators::grid2d(5, 5, false),
+        generators::cycle(24),
+    ]);
+    let delta = g.max_degree();
+    let net = sparse_ids(g, 22);
+    let schema = DeltaColoringSchema::default();
+    let advice = schema.encode(&net).expect("encode");
+    let (colors, _) = schema.decode(&net, &advice).expect("decode");
+    assert!(coloring::is_proper_k_coloring(net.graph(), &colors, delta));
+}
+
+#[test]
+fn lcl_subexp_on_disconnected_graph() {
+    let lcl = ProperColoring::new(3);
+    let g = generators::disjoint_union(&[generators::cycle(90), generators::path(61)]);
+    let net = sparse_ids(g, 23);
+    let schema = LclSubexpSchema::new(&lcl, 30, 50_000_000);
+    let advice = schema.encode(&net).expect("encode");
+    let (labels, _) = schema.decode(&net, &advice).expect("decode");
+    let labeling = Labeling::from_node_labels(labels, net.graph().m());
+    assert!(verify::verify_centralized(&net, &lcl, &labeling).is_empty());
+}
