@@ -33,12 +33,12 @@ fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -93,13 +93,12 @@ pub fn linial_parameters(c: usize, delta: usize) -> (u64, usize) {
 /// # Panics
 ///
 /// Panics if `colors` is not a proper coloring with values `< c`.
-pub fn linial_step(
-    net: &Network,
-    colors: &[usize],
-    c: usize,
-) -> (Vec<usize>, usize, RoundStats) {
+pub fn linial_step(net: &Network, colors: &[usize], c: usize) -> (Vec<usize>, usize, RoundStats) {
     let g = net.graph();
-    assert!(coloring::is_proper_k_coloring(g, colors, c), "input coloring invalid");
+    assert!(
+        coloring::is_proper_k_coloring(g, colors, c),
+        "input coloring invalid"
+    );
     let delta = g.max_degree().max(1);
     let (q, d) = linial_parameters(c, delta);
     let (out, stats) = run_local(net, |ctx| {
@@ -245,7 +244,10 @@ mod tests {
         let (colors, c, stats) = linial_to_delta_squared(&net, colors, n);
         assert!(coloring::is_proper_k_coloring(net.graph(), &colors, c));
         // O(Δ²)-ish: q² with q = O(Δ log Δ)-ish at the fixpoint.
-        assert!(c <= 40 * delta * delta, "palette {c} too large for Δ={delta}");
+        assert!(
+            c <= 40 * delta * delta,
+            "palette {c} too large for Δ={delta}"
+        );
         // log* rounds: tiny.
         assert!(stats.rounds() <= 6, "rounds {}", stats.rounds());
     }
@@ -259,7 +261,11 @@ mod tests {
         let colors: Vec<usize> = net.uids().iter().map(|&u| (u - 1) as usize).collect();
         let (colors, c, s1) = linial_to_delta_squared(&net, colors, n);
         let (colors, s2) = reduce_to_delta_plus_one(&net, colors, c);
-        assert!(coloring::is_proper_k_coloring(net.graph(), &colors, delta + 1));
+        assert!(coloring::is_proper_k_coloring(
+            net.graph(),
+            &colors,
+            delta + 1
+        ));
         // The whole no-advice pipeline is f(Δ) + log* n rounds.
         let total = s1.sequential(&s2).rounds();
         assert!(total < c + 10);

@@ -12,10 +12,8 @@ use lad_runtime::{run_local, run_local_fallible, Ball, Network, RoundStats};
 
 /// Expands the view until the whole connected component of the center is
 /// visible; returns the final ball.
-fn gather_component<'n>(
-    ctx: &lad_runtime::NodeCtx<'n, ()>,
-) -> Ball<()> {
-    let mut r = 1usize.max(1);
+fn gather_component<'n>(ctx: &lad_runtime::NodeCtx<'n, ()>) -> Ball<()> {
+    let mut r = 1;
     loop {
         let ball = ctx.ball(r);
         // The component is fully visible once no member sits at the
@@ -260,7 +258,11 @@ mod greedy_tests {
             let n = g.n();
             let net = Network::with_ids(g, IdAssignment::random_permutation(n, seed));
             let (colors, rounds) = greedy_coloring_no_advice(&net).unwrap();
-            assert!(coloring::is_proper_k_coloring(net.graph(), &colors, delta + 1));
+            assert!(coloring::is_proper_k_coloring(
+                net.graph(),
+                &colors,
+                delta + 1
+            ));
             assert!(rounds <= 2 * n + 2);
         }
     }

@@ -66,17 +66,16 @@ impl AdviceSchema for TrivialColoringSchema {
 
     fn encode(&self, net: &Network) -> Result<AdviceMap, EncodeError> {
         let g = net.graph();
-        let colors =
-            proper_coloring_witness(g, net.uids(), self.k, self.witness_cap).map_err(|e| {
-                match e {
-                    lad_lcl::brute::CompleteError::NoSolution => EncodeError::SolutionDoesNotExist(
-                        format!("graph is not {}-colorable", self.k),
-                    ),
-                    lad_lcl::brute::CompleteError::CapExceeded { cap } => {
-                        EncodeError::SearchBudgetExceeded(format!("witness cap {cap}"))
-                    }
+        let colors = proper_coloring_witness(g, net.uids(), self.k, self.witness_cap).map_err(
+            |e| match e {
+                lad_lcl::brute::CompleteError::NoSolution => {
+                    EncodeError::SolutionDoesNotExist(format!("graph is not {}-colorable", self.k))
                 }
-            })?;
+                lad_lcl::brute::CompleteError::CapExceeded { cap } => {
+                    EncodeError::SearchBudgetExceeded(format!("witness cap {cap}"))
+                }
+            },
+        )?;
         let width = self.beta();
         let mut advice = AdviceMap::empty(g.n());
         for v in g.nodes() {
@@ -144,11 +143,7 @@ impl TrivialEdgeSubsetCodec {
     ///
     /// Rejects advice of the wrong per-node length or with endpoints
     /// disagreeing about an edge.
-    pub fn decompress(
-        &self,
-        net: &Network,
-        advice: &AdviceMap,
-    ) -> Result<Vec<bool>, DecodeError> {
+    pub fn decompress(&self, net: &Network, advice: &AdviceMap) -> Result<Vec<bool>, DecodeError> {
         let g = net.graph();
         let uids = net.uids();
         let mut out: Vec<Option<bool>> = vec![None; g.m()];

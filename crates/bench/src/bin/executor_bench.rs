@@ -1,0 +1,112 @@
+//! Wall-clock snapshot of the executor paths, written as JSON.
+//!
+//! Runs `ctx.view(2).n()` at every node over cycle / grid / random-regular
+//! graphs at n ∈ {1e3, 1e4, 1e5} through four paths:
+//!
+//! * `seq` — [`run_local`], the fresh-BFS-per-view reference;
+//! * `par` — [`run_local_par`], scratch-backed, threaded when cores and
+//!   the `parallel` feature allow;
+//! * `cached_cold` — [`run_local_par_cached`] against an empty cache;
+//! * `cached_warm` — the same cache, second pass (pure hits).
+//!
+//! Usage: `cargo run --release -p lad-bench --bin executor_bench [OUT.json]`
+//! (default output `BENCH_executor.json` in the current directory). Each
+//! cell is the minimum of several repetitions.
+
+use lad_graph::{generators, Graph};
+use lad_runtime::{
+    effective_parallelism, run_local, run_local_par, run_local_par_cached, Network, NodeCtx,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn families(n: usize) -> Vec<(&'static str, Graph)> {
+    let side = (n as f64).sqrt().round() as usize;
+    vec![
+        ("cycle", generators::cycle(n)),
+        ("grid", generators::grid2d(side, side, true)),
+        ("random-regular", generators::random_regular(n, 4, 42)),
+    ]
+}
+
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_executor.json".to_string());
+    let radius = 2usize;
+    let mut rows = Vec::new();
+    for n in [1_000usize, 10_000, 100_000] {
+        let reps = if n >= 100_000 { 3 } else { 7 };
+        for (family, g) in families(n) {
+            let n_actual = g.n();
+            let net = Network::with_identity_ids(g);
+            let algo = |ctx: &NodeCtx| ctx.view(radius).n();
+            let threads = effective_parallelism(n_actual);
+
+            let seq = time_min(reps, || {
+                run_local(&net, algo);
+            });
+            let par = time_min(reps, || {
+                run_local_par(&net, algo);
+            });
+            let cached_cold = time_min(reps, || {
+                let cache = net.view_cache();
+                run_local_par_cached(&net, &cache, threads, algo);
+            });
+            let warm = net.view_cache();
+            run_local_par_cached(&net, &warm, threads, algo);
+            let cached_warm = time_min(reps, || {
+                run_local_par_cached(&net, &warm, threads, algo);
+            });
+
+            eprintln!(
+                "{family:>15} n={n_actual:<7} seq {seq:.4}s  par {par:.4}s ({:.2}x)  \
+                 cold {cached_cold:.4}s ({:.2}x)  warm {cached_warm:.4}s ({:.2}x)",
+                seq / par,
+                seq / cached_cold,
+                seq / cached_warm,
+            );
+            rows.push(format!(
+                "    {{\"family\": \"{family}\", \"n\": {n_actual}, \"radius\": {radius}, \
+                 \"threads\": {threads}, \"reps\": {reps}, \
+                 \"seq_s\": {seq:.6}, \"par_s\": {par:.6}, \
+                 \"cached_cold_s\": {cached_cold:.6}, \"cached_warm_s\": {cached_warm:.6}, \
+                 \"speedup_par\": {:.3}, \"speedup_cached_cold\": {:.3}, \
+                 \"speedup_cached_warm\": {:.3}}}",
+                seq / par,
+                seq / cached_cold,
+                seq / cached_warm,
+            ));
+        }
+    }
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"description\": \"run_local executor paths, algo = ctx.view(2).n() at every node; \
+         times are min over reps, seconds\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    )
+    .unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    writeln!(json, "{}", rows.join(",\n")).unwrap();
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+}

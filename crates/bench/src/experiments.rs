@@ -45,14 +45,23 @@ pub fn e1_advice_size() -> Table {
     let mut t = Table::new(
         "E1: advice size — schema vs trivial encoding",
         &[
-            "graph", "n", "Δ", "problem", "schema mean b/node", "schema max", "trivial b/node",
+            "graph",
+            "n",
+            "Δ",
+            "problem",
+            "schema mean b/node",
+            "schema max",
+            "trivial b/node",
             "schema rounds",
         ],
     );
     let graphs: Vec<(&str, Graph)> = vec![
         ("cycle-400", generators::cycle(400)),
         ("torus-12x12", generators::grid2d(12, 12, true)),
-        ("random-Δ6", generators::random_bounded_degree(300, 6, 700, 5)),
+        (
+            "random-Δ6",
+            generators::random_bounded_degree(300, 6, 700, 5),
+        ),
     ];
     for (name, g) in graphs {
         let n = g.n();
@@ -105,9 +114,7 @@ pub fn e1_advice_size() -> Table {
 pub fn e2_lcl_subexp() -> Table {
     let mut t = Table::new(
         "E2: LCLs with 1-bit advice on sub-exponential growth (C1)",
-        &[
-            "graph", "LCL", "spacing", "ones ratio", "rounds", "valid",
-        ],
+        &["graph", "LCL", "spacing", "ones ratio", "rounds", "valid"],
     );
     let lcl3 = ProperColoring::new(3);
     for (gname, g) in [
@@ -135,9 +142,8 @@ pub fn e2_lcl_subexp() -> Table {
     // MIS on a 2-dimensional instance (torus), with the greedy witness
     // replacing the whole-graph brute force on the encoder side.
     let net = net_of(generators::grid2d(36, 36, true), 41);
-    let schema = LclSubexpSchema::new(&Mis, 20, 200_000_000).with_witness(|net| {
-        Some(lad_lcl::witness::greedy_mis_labels(net.graph(), net.uids()))
-    });
+    let schema = LclSubexpSchema::new(&Mis, 20, 200_000_000)
+        .with_witness(|net| Some(lad_lcl::witness::greedy_mis_labels(net.graph(), net.uids())));
     let advice = schema.encode(&net).expect("encode");
     let (labels, stats) = schema.decode(&net, &advice).expect("decode");
     let labeling = Labeling::from_node_labels(labels, net.graph().m());
@@ -174,14 +180,26 @@ pub fn e3_balanced() -> Table {
     let mut t = Table::new(
         "E3: almost-balanced orientations (C3) — spacing ablation",
         &[
-            "graph", "n", "spacing", "holders", "total bits", "max holders/α-ball(α=8)",
-            "rounds", "balanced",
+            "graph",
+            "n",
+            "spacing",
+            "holders",
+            "total bits",
+            "max holders/α-ball(α=8)",
+            "rounds",
+            "balanced",
         ],
     );
     for (gname, g) in [
         ("cycle-600", generators::cycle(600)),
-        ("even-rand-150", generators::random_even_degree(150, 22, 18, 2)),
-        ("random-Δ7", generators::random_bounded_degree(200, 7, 450, 9)),
+        (
+            "even-rand-150",
+            generators::random_even_degree(150, 22, 18, 2),
+        ),
+        (
+            "random-Δ7",
+            generators::random_bounded_degree(200, 7, 450, 9),
+        ),
         ("torus-14x14", generators::grid2d(14, 14, true)),
     ] {
         for spacing in [6usize, 12, 24] {
@@ -209,13 +227,23 @@ pub fn e4_decompress() -> Table {
     let mut t = Table::new(
         "E4: edge-subset compression (C4) — bits/node vs trivial d",
         &[
-            "graph", "Δ", "X density", "mean bits/node", "paper bound (mean)", "trivial (mean)",
-            "over-bound nodes", "rounds", "lossless",
+            "graph",
+            "Δ",
+            "X density",
+            "mean bits/node",
+            "paper bound (mean)",
+            "trivial (mean)",
+            "over-bound nodes",
+            "rounds",
+            "lossless",
         ],
     );
     for (gname, g) in [
         ("torus-16x16", generators::grid2d(16, 16, true)),
-        ("random-Δ8", generators::random_bounded_degree(250, 8, 800, 12)),
+        (
+            "random-Δ8",
+            generators::random_bounded_degree(250, 8, 800, 12),
+        ),
         ("cycle-500", generators::cycle(500)),
         ("complete-9", generators::complete(9)),
     ] {
@@ -259,7 +287,12 @@ pub fn e5_delta_coloring() -> Table {
     let mut t = Table::new(
         "E5: Δ-coloring of Δ-colorable graphs (C5)",
         &[
-            "graph", "n", "Δ", "proper Δ-coloring", "rounds", "advice bits total",
+            "graph",
+            "n",
+            "Δ",
+            "proper Δ-coloring",
+            "rounds",
+            "advice bits total",
             "stage-3 override nodes",
         ],
     );
@@ -304,7 +337,14 @@ pub fn e6_three_coloring() -> Table {
     let mut t = Table::new(
         "E6: 3-coloring 3-colorable graphs with 1 bit/node (C6)",
         &[
-            "graph", "n", "Δ", "proper", "ones ratio", "type-1 bits", "type-23 bits", "rounds",
+            "graph",
+            "n",
+            "Δ",
+            "proper",
+            "ones ratio",
+            "type-1 bits",
+            "type-23 bits",
+            "rounds",
         ],
     );
     let cases: Vec<(&str, Graph)> = vec![
@@ -356,7 +396,11 @@ pub fn e7_eth_brute_force() -> Table {
     let mut t = Table::new(
         "E7: brute-force advice search cost (C2) — 2-coloring odd cycles",
         &[
-            "n", "attempts", "time (ms)", "evals (direct)", "evals (memoized)",
+            "n",
+            "attempts",
+            "time (ms)",
+            "evals (direct)",
+            "evals (memoized)",
             "distinct views",
         ],
     );
@@ -364,9 +408,8 @@ pub fn e7_eth_brute_force() -> Table {
         let net = net_of(generators::cycle(n), 5);
         let lcl = ProperColoring::new(2);
         let start = Instant::now();
-        let direct =
-            brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, false, 1 << 30)
-                .expect("within budget");
+        let direct = brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, false, 1 << 30)
+            .expect("within budget");
         let elapsed = start.elapsed().as_secs_f64() * 1000.0;
         let memo = brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, true, 1 << 30)
             .expect("within budget");
@@ -389,7 +432,11 @@ pub fn e8_order_invariance() -> Table {
     let mut t = Table::new(
         "E8: order-invariant lookup-table simulation",
         &[
-            "algorithm", "radius", "training nets", "table size", "fresh-net agreement",
+            "algorithm",
+            "radius",
+            "training nets",
+            "table size",
+            "fresh-net agreement",
         ],
     );
     let local_min = |ball: &Ball<()>| -> bool {
@@ -478,7 +525,10 @@ pub fn e10_advice_vs_no_advice() -> Table {
     let mut t = Table::new(
         "E10: balanced orientation on cycles — advice vs no advice",
         &[
-            "n", "no-advice rounds", "advice rounds (var-len)", "advice rounds (1-bit)",
+            "n",
+            "no-advice rounds",
+            "advice rounds (var-len)",
+            "advice rounds (1-bit)",
             "1-bit ones ratio",
         ],
     );
@@ -512,7 +562,13 @@ pub fn e10_advice_vs_no_advice() -> Table {
 pub fn proofs_table() -> Table {
     let mut t = Table::new(
         "Proofs: locally checkable proofs from schemas (Section 1.2)",
-        &["instance", "certificate bits", "verifier rounds", "honest", "tampered rejected"],
+        &[
+            "instance",
+            "certificate bits",
+            "verifier rounds",
+            "honest",
+            "tampered rejected",
+        ],
     );
     // Balanced orientation proof on a long cycle.
     let net = net_of(generators::cycle(300), 404);
@@ -593,7 +649,14 @@ pub fn proofs_table() -> Table {
 pub fn cluster_ablation() -> Table {
     let mut t = Table::new(
         "Ablation: cluster-coloring spacing (C5 stage 1)",
-        &["graph", "spacing", "holders", "total bits", "rounds", "proper Δ+1"],
+        &[
+            "graph",
+            "spacing",
+            "holders",
+            "total bits",
+            "rounds",
+            "proper Δ+1",
+        ],
     );
     let g = generators::random_bounded_degree(200, 5, 420, 21);
     let delta = g.max_degree();
@@ -652,7 +715,11 @@ pub fn scale_table() -> Table {
     let mut t = Table::new(
         "Scale: balanced orientation + decompression at large n",
         &[
-            "n", "encode (ms)", "decode (ms)", "rounds", "decompress lossless",
+            "n",
+            "encode (ms)",
+            "decode (ms)",
+            "rounds",
+            "decompress lossless",
         ],
     );
     for n in [5_000usize, 20_000, 50_000] {
@@ -684,11 +751,22 @@ pub fn scale_table() -> Table {
 pub fn linial_table() -> Table {
     let mut t = Table::new(
         "Linial: no-advice palette reduction (C5 stage-2 subroutine)",
-        &["graph", "n", "Δ", "after log* rounds", "rounds (to O(Δ²))", "final", "total rounds"],
+        &[
+            "graph",
+            "n",
+            "Δ",
+            "after log* rounds",
+            "rounds (to O(Δ²))",
+            "final",
+            "total rounds",
+        ],
     );
     for (gname, g) in [
         ("cycle-256", generators::cycle(256)),
-        ("random-Δ4", generators::random_bounded_degree(400, 4, 760, 2)),
+        (
+            "random-Δ4",
+            generators::random_bounded_degree(400, 4, 760, 2),
+        ),
         ("torus-16x16", generators::grid2d(16, 16, true)),
     ] {
         let n = g.n();
@@ -697,7 +775,11 @@ pub fn linial_table() -> Table {
         let colors: Vec<usize> = net.uids().iter().map(|&u| (u - 1) as usize).collect();
         let (colors, c, s1) = lad_baselines::linial::linial_to_delta_squared(&net, colors, n);
         let (colors, s2) = lad_baselines::linial::reduce_to_delta_plus_one(&net, colors, c);
-        assert!(coloring::is_proper_k_coloring(net.graph(), &colors, delta + 1));
+        assert!(coloring::is_proper_k_coloring(
+            net.graph(),
+            &colors,
+            delta + 1
+        ));
         t.push(vec![
             gname.into(),
             n.to_string(),

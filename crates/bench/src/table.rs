@@ -102,7 +102,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f3(0.0), "0");
         assert_eq!(f3(0.1234), "0.1234");
-        assert_eq!(f3(3.14159), "3.14");
+        assert_eq!(f3(4.24264), "4.24");
         assert_eq!(f3(1234.6), "1235");
     }
 }

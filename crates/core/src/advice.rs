@@ -108,7 +108,8 @@ impl AdviceMap {
         self.strings
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| (!s.is_empty()).then(|| NodeId::from_index(i)))
+            .filter(|&(_i, s)| !s.is_empty())
+            .map(|(i, _s)| NodeId::from_index(i))
     }
 
     /// Classifies the map per Definition 3.4.

@@ -37,7 +37,7 @@ use lad_graph::orientation::{
     pair_partner, slot_edges, slot_of, slot_pairs, sorted_incident_by_uid,
 };
 use lad_graph::{EdgeId, NodeId, Orientation, Trail};
-use lad_runtime::{run_local_fallible, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Network, RoundStats};
 
 /// The almost-balanced-orientation schema (Contribution 3).
 ///
@@ -190,7 +190,7 @@ pub struct AnchorRecord {
 
 /// Serializes a node's anchor records (sorted by slot) into its advice
 /// string. `degree` is the node's degree (determines the slot field width).
-pub fn encode_records(records: &mut Vec<AnchorRecord>, degree: usize) -> BitString {
+pub fn encode_records(records: &mut [AnchorRecord], degree: usize) -> BitString {
     records.sort_by_key(|r| r.slot);
     let width = bit_width(degree / 2);
     let mut bits = BitString::new();
@@ -212,7 +212,7 @@ pub fn decode_records(bits: &BitString, degree: usize) -> Option<Vec<AnchorRecor
         return None;
     }
     let width = bit_width(pairs);
-    if bits.len() % (width + 1) != 0 {
+    if !bits.len().is_multiple_of(width + 1) {
         return None;
     }
     let mut reader = BitReader::new(bits);
@@ -298,8 +298,8 @@ impl AdviceSchema for BalancedOrientationSchema {
             }
             for i in anchor_positions(trail, self.anchor_spacing) {
                 let (w, arrive, leave) = position_info(trail, i);
-                let slot = slot_of(g, uids, w, arrive)
-                    .expect("consecutive trail edges share a slot");
+                let slot =
+                    slot_of(g, uids, w, arrive).expect("consecutive trail edges share a slot");
                 let (first, _second) = slot_edges(g, uids, w, slot);
                 // Under the chosen orientation the trail enters w via
                 // `arrive` (if forward) or via `leave` (if reversed).
@@ -333,7 +333,7 @@ impl AdviceSchema for BalancedOrientationSchema {
         let advised = net.with_inputs(advice.strings().to_vec());
         let budget = self.walk_budget();
         let radius = self.decode_radius();
-        let (claims, stats) = run_local_fallible(&advised, |ctx| {
+        let (claims, stats) = run_local_fallible_par(&advised, |ctx| {
             let ball = ctx.ball(radius);
             decode_at_node(&ball, budget)
         })?;
@@ -403,9 +403,8 @@ fn anchor_at(
     slot: usize,
 ) -> Result<Option<AnchorRecord>, DecodeError> {
     let bits = ball.input(w);
-    let records = decode_records(bits, ball.global_degree(w)).ok_or_else(|| {
-        DecodeError::malformed(ball.global_node(w), "unparseable anchor records")
-    })?;
+    let records = decode_records(bits, ball.global_degree(w))
+        .ok_or_else(|| DecodeError::malformed(ball.global_node(w), "unparseable anchor records"))?;
     Ok(records.into_iter().find(|r| r.slot == slot))
 }
 

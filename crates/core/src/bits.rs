@@ -200,11 +200,8 @@ impl<'a> BitReader<'a> {
     /// Reads an Elias-gamma code written by [`BitString::push_gamma`].
     pub fn read_gamma(&mut self) -> Option<u64> {
         let mut zeros = 0usize;
-        loop {
-            match self.read_bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.read_bit()? {
+            zeros += 1;
         }
         let mut v = 1u64;
         for _ in 0..zeros {

@@ -25,7 +25,7 @@ use crate::bits::{bit_width, BitReader, BitString};
 use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use lad_graph::{coloring, ruling, Graph, NodeId};
-use lad_runtime::{run_local_fallible, Ball, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Ball, Network, RoundStats};
 
 /// The fused cluster-coloring schema producing a proper `(Δ+1)`-coloring.
 ///
@@ -177,7 +177,7 @@ impl AdviceSchema for ClusterColoringSchema {
         let width = self.color_width();
         let max_colors = self.max_cluster_colors;
         let max_radius = self.max_radius();
-        let (colors, stats) = run_local_fallible(&advised, |ctx| {
+        let (colors, stats) = run_local_fallible_par(&advised, |ctx| {
             let mut r = 2 * spacing + 2;
             loop {
                 let ball = ctx.ball(r);
@@ -257,7 +257,7 @@ fn simulate_greedy(
             return None;
         }
         match nearest[w.index()] {
-            Some((d, _, color)) if d <= spacing - 1 => Some((color, ball.uid(w))),
+            Some((d, _, color)) if d < spacing => Some((color, ball.uid(w))),
             _ => None,
         }
     };

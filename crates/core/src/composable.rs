@@ -63,10 +63,7 @@ impl ProfilePoint {
 /// Panics if the advice covers a different node count than the graph.
 pub fn profile(g: &Graph, advice: &AdviceMap, alphas: &[usize]) -> Vec<ProfilePoint> {
     assert_eq!(g.n(), advice.n(), "advice/graph node count mismatch");
-    let holder: Vec<bool> = g
-        .nodes()
-        .map(|v| !advice.get(v).is_empty())
-        .collect();
+    let holder: Vec<bool> = g.nodes().map(|v| !advice.get(v).is_empty()).collect();
     let bits: Vec<usize> = g.nodes().map(|v| advice.get(v).len()).collect();
     alphas
         .iter()

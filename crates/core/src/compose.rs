@@ -23,7 +23,7 @@ use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use crate::tracks::{demultiplex, multiplex};
 use lad_graph::{coloring, ruling};
-use lad_runtime::{run_local_fallible, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Network, RoundStats};
 
 /// A schema whose decoder consumes the output of another schema (the
 /// "oracle" of the paper's composability definition).
@@ -42,8 +42,7 @@ pub trait OracleSchema {
     /// # Errors
     ///
     /// See [`EncodeError`].
-    fn encode_with(&self, net: &Network, oracle: &Self::Oracle)
-        -> Result<AdviceMap, EncodeError>;
+    fn encode_with(&self, net: &Network, oracle: &Self::Oracle) -> Result<AdviceMap, EncodeError>;
 
     /// Distributed decoding given the oracle output.
     ///
@@ -164,7 +163,7 @@ impl<O> OracleSchema for ParityOracleSchema<O> {
     ) -> Result<(Vec<bool>, RoundStats), DecodeError> {
         let advised = net.with_inputs(advice.strings().to_vec());
         let spacing = self.spacing;
-        run_local_fallible(&advised, |ctx| {
+        run_local_fallible_par(&advised, |ctx| {
             let ball = ctx.ball(spacing);
             let mut nearest: Option<(usize, u64, bool)> = None;
             for w in ball.graph().nodes() {
@@ -230,7 +229,7 @@ impl OracleSchema for SplitFromParts {
             .map(|e| usize::from(colors[orientation.tail(g, e).index()]))
             .collect();
         // Zero extra rounds: each edge's label is determined at its tail.
-        let (_, stats) = lad_runtime::run_local(net, |_| ());
+        let (_, stats) = lad_runtime::run_local_par(net, |_| ());
         Ok((labels, stats))
     }
 }

@@ -25,7 +25,7 @@ use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use lad_graph::orientation::sorted_incident_by_uid;
 use lad_graph::Orientation;
-use lad_runtime::{run_local, Network, RoundStats};
+use lad_runtime::{run_local_par, Network, RoundStats};
 
 /// The edge-subset compressor/decompressor (Contribution 4).
 ///
@@ -185,7 +185,7 @@ impl EdgeSubsetCodec {
             }
         }
         // Account the extra round in which heads learn their incoming bits.
-        let (_, one_round) = run_local(net, |ctx| {
+        let (_, one_round) = run_local_par(net, |ctx| {
             ctx.ball(1);
         });
         Ok((out, stats.sequential(&one_round)))

@@ -32,7 +32,7 @@ use crate::tracks::{demultiplex, multiplex};
 use lad_graph::{coloring, traversal, Graph, InducedSubgraph, NodeId};
 use lad_lcl::brute::{complete, CompleteError, Region};
 use lad_lcl::problems::ProperColoring;
-use lad_runtime::{run_local, Network, RoundStats};
+use lad_runtime::{run_local_par, Network, RoundStats};
 
 /// The Δ-coloring schema (Contribution 5).
 ///
@@ -114,10 +114,7 @@ impl DeltaColoringSchema {
     ) -> Result<Vec<usize>, EncodeError> {
         let mut chi = chi.to_vec();
         let lcl = ProperColoring::new(delta);
-        let stuck: Vec<NodeId> = g
-            .nodes()
-            .filter(|&v| chi[v.index()] >= delta)
-            .collect();
+        let stuck: Vec<NodeId> = g.nodes().filter(|&v| chi[v.index()] >= delta).collect();
         for u in stuck {
             if chi[u.index()] < delta {
                 continue; // fixed by an earlier region
@@ -135,13 +132,13 @@ impl DeltaColoringSchema {
                 let members: Vec<NodeId> = ball_nodes.iter().map(|&(v, _)| v).collect();
                 let sub = InducedSubgraph::new(g, &members);
                 let sg = sub.graph();
-                let sub_uids: Vec<u64> =
-                    sub.original_nodes().iter().map(|v| uids[v.index()]).collect();
-                let true_degree: Vec<usize> = sub
+                let sub_uids: Vec<u64> = sub
                     .original_nodes()
                     .iter()
-                    .map(|v| g.degree(*v))
+                    .map(|v| uids[v.index()])
                     .collect();
+                let true_degree: Vec<usize> =
+                    sub.original_nodes().iter().map(|v| g.degree(*v)).collect();
                 let mut pins: Vec<Option<usize>> = vec![None; sg.n()];
                 let mut check_nodes = Vec::new();
                 for &(v, d) in &ball_nodes {
@@ -185,9 +182,9 @@ impl DeltaColoringSchema {
                 let uids_all = uids.to_vec();
                 let (labels, _) = lad_lcl::brute::solve(g, &uids_all, &lcl, self.repair_cap)
                     .map_err(|e| match e {
-                        CompleteError::NoSolution => EncodeError::SolutionDoesNotExist(
-                            "graph is not Δ-colorable".into(),
-                        ),
+                        CompleteError::NoSolution => {
+                            EncodeError::SolutionDoesNotExist("graph is not Δ-colorable".into())
+                        }
                         CompleteError::CapExceeded { cap } => EncodeError::SearchBudgetExceeded(
                             format!("global Δ-coloring search exceeded {cap} steps"),
                         ),
@@ -244,7 +241,7 @@ impl AdviceSchema for DeltaColoringSchema {
         let g = net.graph();
         let delta = g.max_degree();
         if delta == 0 {
-            return Ok((vec![0; g.n()], run_local(net, |_| ()).1));
+            return Ok((vec![0; g.n()], run_local_par(net, |_| ()).1));
         }
         let tracks = demultiplex(advice, 2).ok_or_else(|| {
             DecodeError::Inconsistent("advice does not split into two tracks".into())
@@ -252,7 +249,7 @@ impl AdviceSchema for DeltaColoringSchema {
         let (chi1, stats1) = self.cluster.decode(net, &tracks[0])?;
         // Step 2 costs one round (each node reads its neighbors' χ₁).
         let chi2 = Self::local_fix(g, delta, &chi1);
-        let (_, one_round) = run_local(net, |ctx| {
+        let (_, one_round) = run_local_par(net, |ctx| {
             ctx.ball(1);
         });
         // Step 3 overrides cost zero rounds (each node reads its own bits).

@@ -111,10 +111,13 @@ pub fn brute_force_advice_search(
             })
             .collect();
         let advised = net.with_inputs(advice);
+        // Stays on the sequential executor: the canonical-view memo is a
+        // RefCell shared across the whole enumeration, and `evaluations`
+        // must count deterministically for the reported outcome.
         let (labels, _) = run_local(&advised, |ctx| {
             let ball = ctx.ball(radius);
             if memoize {
-                let key = canonicalize(&ball, &tag);
+                let key = canonicalize(&ball, tag);
                 if let Some(&out) = cache.borrow().get(&key) {
                     return out;
                 }
@@ -243,8 +246,7 @@ mod tests {
             usize::from(!blocked)
         };
         let net = Network::with_identity_ids(generators::cycle(7));
-        let out =
-            brute_force_advice_search(&net, &Mis, 1, 1, decoder, true, 1 << 20).unwrap();
+        let out = brute_force_advice_search(&net, &Mis, 1, 1, decoder, true, 1 << 20).unwrap();
         assert!(out.found.is_some());
         // Canonical radius-1 cycle views with 3 advice bits and 3 uid
         // orderings: far fewer than attempts × n.

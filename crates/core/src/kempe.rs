@@ -151,12 +151,7 @@ pub fn recolor_vertex(g: &Graph, chi: &mut [usize], v: NodeId, k: usize) -> bool
 }
 
 /// BFS to the nearest good vertex, returning the path from `v` (inclusive).
-fn shortest_path_to_good(
-    g: &Graph,
-    chi: &[usize],
-    v: NodeId,
-    k: usize,
-) -> Option<Vec<NodeId>> {
+fn shortest_path_to_good(g: &Graph, chi: &[usize], v: NodeId, k: usize) -> Option<Vec<NodeId>> {
     let mut parent: Vec<Option<NodeId>> = vec![None; g.n()];
     let mut seen = vec![false; g.n()];
     seen[v.index()] = true;
@@ -195,7 +190,7 @@ mod tests {
         let chi = vec![3usize, 0, 1, 2];
         assert!(free_colors(&g, &chi, NodeId(0), 3).is_empty());
         assert_eq!(free_colors(&g, &chi, NodeId(1), 3), vec![0, 1, 2]); // own color ignored
-        // Leaves have degree 1 < 3: good.
+                                                                        // Leaves have degree 1 < 3: good.
         assert!(is_good_vertex(&g, &chi, NodeId(1), 3));
         // Center has 3 distinctly-colored neighbors and degree 3: not good.
         assert!(!is_good_vertex(&g, &chi, NodeId(0), 3));

@@ -38,11 +38,15 @@ use crate::schema::AdviceSchema;
 use lad_graph::{ruling, Graph, InducedSubgraph, NodeId};
 use lad_lcl::brute::{complete, solve, CompleteError, Region};
 use lad_lcl::Lcl;
-use lad_runtime::{run_local_fallible, Ball, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Ball, Network, RoundStats};
 use std::collections::VecDeque;
 
 /// Length of the center-marker code (empty payload).
 const MARKER_LEN: usize = 9;
+
+/// A centralized solver producing a candidate witness labeling, or `None`
+/// when it finds none.
+pub type WitnessFn = fn(&Network) -> Option<Vec<usize>>;
 
 /// The 1-bit LCL schema for sub-exponential-growth graphs.
 pub struct LclSubexpSchema<'a> {
@@ -58,7 +62,7 @@ pub struct LclSubexpSchema<'a> {
     /// unbounded); by default it brute-forces, which is fine for
     /// one-dimensional instances but hopeless for, e.g., MIS on a large
     /// torus. A returned witness is validated before use.
-    pub witness: Option<fn(&Network) -> Option<Vec<usize>>>,
+    pub witness: Option<WitnessFn>,
 }
 
 impl<'a> LclSubexpSchema<'a> {
@@ -250,9 +254,9 @@ impl AdviceSchema for LclSubexpSchema<'_> {
                             "{} has no solution",
                             self.lcl.name()
                         )),
-                        CompleteError::CapExceeded { cap } => EncodeError::SearchBudgetExceeded(
-                            format!("witness search cap {cap}"),
-                        ),
+                        CompleteError::CapExceeded { cap } => {
+                            EncodeError::SearchBudgetExceeded(format!("witness search cap {cap}"))
+                        }
                     })?;
                 w
             }
@@ -332,7 +336,7 @@ impl AdviceSchema for LclSubexpSchema<'_> {
         }
         let advised = net.with_inputs(bits);
         let radius = self.decode_radius();
-        let (labels, stats) = run_local_fallible(&advised, |ctx| {
+        let (labels, stats) = run_local_fallible_par(&advised, |ctx| {
             decode_at(
                 &ctx.ball(radius),
                 self.lcl,
@@ -512,9 +516,9 @@ fn decode_at(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lad_graph::generators;
     use lad_lcl::problems::{Mis, ProperColoring, WeakColoring};
     use lad_lcl::{verify, Labeling};
-    use lad_graph::generators;
 
     fn check(net: &Network, schema: &LclSubexpSchema<'_>) -> (AdviceMap, RoundStats) {
         let advice = schema.encode(net).expect("encode");
@@ -585,9 +589,8 @@ mod tests {
         // A genuinely 2-dimensional sub-exponential-growth instance; the
         // greedy witness replaces the hopeless whole-graph brute force.
         let net = Network::with_identity_ids(generators::grid2d(20, 20, false));
-        let schema = LclSubexpSchema::new(&Mis, 16, 100_000_000).with_witness(|net| {
-            Some(lad_lcl::witness::greedy_mis_labels(net.graph(), net.uids()))
-        });
+        let schema = LclSubexpSchema::new(&Mis, 16, 100_000_000)
+            .with_witness(|net| Some(lad_lcl::witness::greedy_mis_labels(net.graph(), net.uids())));
         let advice = schema.encode(&net).expect("encode");
         assert_eq!(advice.max_bits(), 1);
         let (labels, _) = schema.decode(&net, &advice).expect("decode");

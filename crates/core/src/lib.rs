@@ -54,8 +54,8 @@ pub mod decompress;
 pub mod delta_coloring;
 pub mod error;
 pub mod eth;
-pub mod lcl_subexp;
 pub mod kempe;
+pub mod lcl_subexp;
 pub mod lll;
 pub mod onebit;
 pub mod open_problems;

@@ -181,7 +181,7 @@ mod tests {
         let sets2 = sets.clone();
         let sys = FnSystem::new(vec![2; 30], sets, move |c, a| {
             let colors: Vec<usize> = sets2[c].iter().map(|&v| a[v]).collect();
-            colors.iter().any(|&x| x == 0) && colors.iter().any(|&x| x == 1)
+            colors.contains(&0) && colors.contains(&1)
         });
         let a = moser_tardos(&sys, 99, 100_000).unwrap();
         for c in 0..sys.num_constraints() {

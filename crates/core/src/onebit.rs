@@ -26,7 +26,7 @@ use crate::bits::{decode_path_code, encode_path_code, path_code_len, BitString};
 use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use lad_graph::{Graph, NodeId};
-use lad_runtime::{run_local, Ball, Network, RoundStats};
+use lad_runtime::{run_local_par, Ball, Network, RoundStats};
 
 /// A fixed 64-bit mixer (SplitMix64 finalizer) — shared by encoder and
 /// decoder to pick walk steps pseudo-randomly but deterministically.
@@ -252,7 +252,7 @@ pub fn from_one_bit(net: &Network, one_bit: &OneBitAdvice) -> (AdviceMap, RoundS
     let g = net.graph();
     let advised = net.with_inputs(one_bit.bits.clone());
     let radius = one_bit.code_len + 1;
-    let (payloads, stats) = run_local(&advised, |ctx| {
+    let (payloads, stats) = run_local_par(&advised, |ctx| {
         let ball = ctx.ball(radius);
         detect_holder_local(&ball, one_bit.code_len)
     });

@@ -78,11 +78,7 @@ impl CubicTwoBitCodec {
     /// # Panics
     ///
     /// Panics if `subset.len()` differs from the edge count.
-    pub fn compress(
-        &self,
-        net: &Network,
-        subset: &[bool],
-    ) -> Result<CubicCompressed, NotCubic> {
+    pub fn compress(&self, net: &Network, subset: &[bool]) -> Result<CubicCompressed, NotCubic> {
         let g = net.graph();
         assert_eq!(subset.len(), g.m());
         if g.nodes().any(|v| g.degree(v) != 3) {
@@ -105,10 +101,7 @@ impl CubicTwoBitCodec {
             }
             debug_assert!(slot <= 2, "2-degeneracy bounds the out-degree");
         }
-        let deleted = deleted_edges
-            .iter()
-            .map(|&e| subset[e.index()])
-            .collect();
+        let deleted = deleted_edges.iter().map(|&e| subset[e.index()]).collect();
         Ok(CubicCompressed { bits, deleted })
     }
 
@@ -165,7 +158,9 @@ mod tests {
             let g = cubic_graph(seed);
             let m = g.m();
             let net = Network::with_identity_ids(g);
-            let subset: Vec<bool> = (0..m).map(|i| (i * 7 + seed as usize) % 3 == 0).collect();
+            let subset: Vec<bool> = (0..m)
+                .map(|i| (i * 7 + seed as usize).is_multiple_of(3))
+                .collect();
             let codec = CubicTwoBitCodec;
             let compressed = codec.compress(&net, &subset).unwrap();
             // Exactly 2 bits per node.

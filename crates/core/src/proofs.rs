@@ -154,8 +154,11 @@ mod tests {
         let mut cert = system.prove(&net).unwrap();
         let holder = cert.holders().next().unwrap();
         let old = cert.get(holder).clone();
-        let flipped: crate::bits::BitString =
-            old.iter().enumerate().map(|(i, b)| if i + 1 == old.len() { !b } else { b }).collect();
+        let flipped: crate::bits::BitString = old
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i + 1 == old.len() { !b } else { b })
+            .collect();
         cert.set(holder, flipped);
         assert!(!system.verify(&net, &cert).is_accepted());
     }

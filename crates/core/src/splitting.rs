@@ -30,7 +30,7 @@ use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use crate::tracks::{demultiplex, multiplex};
 use lad_graph::{coloring, ruling, Graph, GraphBuilder, NodeId};
-use lad_runtime::{run_local_fallible, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Network, RoundStats};
 
 /// The splitting schema: balanced red/blue edge coloring of a bipartite
 /// graph with all degrees even.
@@ -139,7 +139,7 @@ impl AdviceSchema for SplittingSchema {
         // Recover the 2-coloring by parity to the nearest marked node.
         let advised = net.with_inputs(tracks[1].strings().to_vec());
         let spacing = self.parity_spacing;
-        let (colors, stats_p) = run_local_fallible(&advised, |ctx| {
+        let (colors, stats_p) = run_local_fallible_par(&advised, |ctx| {
             let ball = ctx.ball(spacing);
             let mut nearest: Option<(usize, u64, bool)> = None;
             for w in ball.graph().nodes() {
@@ -317,8 +317,8 @@ impl AdviceSchema for EdgeColoringSchema {
         advice: &AdviceMap,
     ) -> Result<(Vec<usize>, RoundStats), DecodeError> {
         let g = net.graph();
-        let delta = Self::check(g)
-            .map_err(|e| DecodeError::Inconsistent(format!("precondition: {e}")))?;
+        let delta =
+            Self::check(g).map_err(|e| DecodeError::Inconsistent(format!("precondition: {e}")))?;
         let n = g.n();
         let count = Self::instance_count(delta);
         let tracks = demultiplex(advice, count).ok_or_else(|| {
@@ -361,8 +361,8 @@ impl AdviceSchema for EdgeColoringSchema {
                 queue.insert(0, edge_subgraph(n, &edges));
             }
         }
-        let stats = total_stats
-            .ok_or_else(|| DecodeError::Inconsistent("degenerate recursion".into()))?;
+        let stats =
+            total_stats.ok_or_else(|| DecodeError::Inconsistent("degenerate recursion".into()))?;
         Ok((colors, stats))
     }
 }

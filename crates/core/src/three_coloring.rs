@@ -41,7 +41,7 @@ use crate::lll::{moser_tardos, ConstraintSystem};
 use crate::schema::AdviceSchema;
 use lad_graph::{coloring, ruling, Graph, InducedSubgraph, NodeId};
 use lad_lcl::witness::proper_coloring_witness;
-use lad_runtime::{run_local_fallible, Ball, Network, RoundStats};
+use lad_runtime::{run_local_fallible_par, Ball, Network, RoundStats};
 use std::collections::VecDeque;
 
 /// The 1-bit 3-coloring schema (Contribution 6).
@@ -165,6 +165,7 @@ fn zero_neighbors(g: &Graph, phi: &[usize], v: NodeId) -> Vec<NodeId> {
 /// outward from `v` in component distance, preferring near and small-UID
 /// candidates. `forbidden_zero` are color-0 nodes the selection must not
 /// touch (used to keep `S′` independent of `S`).
+#[allow(clippy::too_many_arguments)]
 fn find_half(
     g: &Graph,
     uids: &[u64],
@@ -199,7 +200,11 @@ fn find_half(
         }
         let zx = zero_neighbors(g, phi, x);
         for &y in g.neighbors(x) {
-            if y <= x || !inside[y.index()] || dist[y.index()] > max_dist || !allowed(y) || !clean(y)
+            if y <= x
+                || !inside[y.index()]
+                || dist[y.index()] > max_dist
+                || !allowed(y)
+                || !clean(y)
             {
                 continue;
             }
@@ -270,16 +275,8 @@ fn candidate_plans(
             break;
         }
         let none_forbidden = vec![false; g.n()];
-        let Some(s_half) = find_half(
-            g,
-            uids,
-            phi,
-            inside,
-            v,
-            delta,
-            |_| true,
-            &none_forbidden,
-        ) else {
+        let Some(s_half) = find_half(g, uids, phi, inside, v, delta, |_| true, &none_forbidden)
+        else {
             continue;
         };
         // S′ must avoid S's color-0 neighbors and S itself (plus its
@@ -359,7 +356,7 @@ impl<'a> SelectionSystem<'a> {
         }
         let constraints = g
             .nodes()
-            .filter(|&z| phi[z.index()] == 0 && touching[z.index()].len() >= 1)
+            .filter(|&z| phi[z.index()] == 0 && !touching[z.index()].is_empty())
             .map(|z| (z, touching[z.index()].clone()))
             .collect();
         SelectionSystem {
@@ -372,7 +369,12 @@ impl<'a> SelectionSystem<'a> {
 
     fn lit_neighbors_of(&self, z: NodeId, assignment: &[usize]) -> usize {
         let mut count = 0;
-        for &slot in &self.constraints.iter().find(|(c, _)| *c == z).expect("constraint exists").1
+        for &slot in &self
+            .constraints
+            .iter()
+            .find(|(c, _)| *c == z)
+            .expect("constraint exists")
+            .1
         {
             let plan = &self.plans[slot][assignment[slot]];
             let lit = plan.lit_nodes(self.phi[plan.anchor.index()]);
@@ -570,7 +572,7 @@ impl AdviceSchema for ThreeColoringSchema {
         let small_limit = self.effective_small(delta);
         let extent = self.group_extent;
         let advised = net.with_inputs(bits);
-        let (colors, stats) = run_local_fallible(&advised, |ctx| {
+        let (colors, stats) = run_local_fallible_par(&advised, |ctx| {
             decode_color(&ctx.ball(radius), small_limit, extent)
         })?;
         Ok((colors, stats))

@@ -18,21 +18,19 @@ fn arb_bitstring(max_len: usize) -> impl Strategy<Value = BitString> {
 /// A connected-ish random graph with a random uid permutation.
 fn arb_network() -> impl Strategy<Value = Network> {
     (4usize..40, 0u64..500).prop_flat_map(|(n, seed)| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(
-            move |pairs| {
-                let mut b = GraphBuilder::new(n);
-                // A spanning path keeps most instances connected.
-                for i in 1..n {
-                    b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            // A spanning path keeps most instances connected.
+            for i in 1..n {
+                b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
                 }
-                for (u, v) in pairs {
-                    if u != v {
-                        b.add_edge(NodeId(u), NodeId(v));
-                    }
-                }
-                Network::with_ids(b.build(), IdAssignment::random_permutation(n, seed))
-            },
-        )
+            }
+            Network::with_ids(b.build(), IdAssignment::random_permutation(n, seed))
+        })
     })
 }
 

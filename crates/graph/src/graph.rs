@@ -254,9 +254,7 @@ impl Graph {
             (v, u)
         };
         let ns = self.neighbors(a);
-        ns.binary_search(&b)
-            .ok()
-            .map(|i| self.incident_edges(a)[i])
+        ns.binary_search(&b).ok().map(|i| self.incident_edges(a)[i])
     }
 
     /// The *port* of `u` towards `v`: the index of `v` in `u`'s sorted
@@ -286,7 +284,7 @@ impl Graph {
 
     /// Whether every node has even degree.
     pub fn all_degrees_even(&self) -> bool {
-        self.nodes().all(|v| self.degree(v) % 2 == 0)
+        self.nodes().all(|v| self.degree(v).is_multiple_of(2))
     }
 }
 

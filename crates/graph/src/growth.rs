@@ -68,13 +68,7 @@ pub fn growth_exponent(g: &Graph, x: usize) -> f64 {
 /// Lemma 4.3 rules out for genuinely sub-exponential families with the
 /// right constants, but can happen for aggressive `threshold` on small
 /// instances).
-pub fn find_alpha(
-    g: &Graph,
-    v: NodeId,
-    x: usize,
-    r: usize,
-    threshold: usize,
-) -> Option<usize> {
+pub fn find_alpha(g: &Graph, v: NodeId, x: usize, r: usize, threshold: usize) -> Option<usize> {
     let spheres = sphere_sizes(g, v, 2 * x + r);
     let mut ball = 0usize;
     let mut alpha_found = None;

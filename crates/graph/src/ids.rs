@@ -175,9 +175,6 @@ mod tests {
     #[test]
     fn nodes_by_uid_sorted() {
         let ids = IdAssignment::from_uids(vec![5, 1, 3]);
-        assert_eq!(
-            ids.nodes_by_uid(),
-            vec![NodeId(1), NodeId(2), NodeId(0)]
-        );
+        assert_eq!(ids.nodes_by_uid(), vec![NodeId(1), NodeId(2), NodeId(0)]);
     }
 }

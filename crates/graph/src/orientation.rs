@@ -210,12 +210,7 @@ pub fn pair_partner(g: &Graph, uids: &[u64], v: NodeId, e: EdgeId) -> Option<Edg
 /// One step of a trail walk: having traversed edge `via` *into* node
 /// `arrived`, returns the edge the trail continues with (the pair partner
 /// of `via` at `arrived`), or `None` if the trail ends there.
-pub fn next_along_trail(
-    g: &Graph,
-    uids: &[u64],
-    arrived: NodeId,
-    via: EdgeId,
-) -> Option<EdgeId> {
+pub fn next_along_trail(g: &Graph, uids: &[u64], arrived: NodeId, via: EdgeId) -> Option<EdgeId> {
     pair_partner(g, uids, arrived, via)
 }
 
@@ -270,10 +265,10 @@ impl EulerPartition {
         let mut edge_location = vec![(usize::MAX, usize::MAX); g.m()];
 
         let extract = |start_node: NodeId,
-                           start_edge: EdgeId,
-                           used: &mut Vec<bool>,
-                           edge_location: &mut Vec<(usize, usize)>,
-                           trails: &mut Vec<Trail>| {
+                       start_edge: EdgeId,
+                       used: &mut Vec<bool>,
+                       edge_location: &mut Vec<(usize, usize)>,
+                       trails: &mut Vec<Trail>| {
             let trail_idx = trails.len();
             let mut nodes = vec![start_node];
             let mut edges = Vec::new();

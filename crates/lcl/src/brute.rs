@@ -123,7 +123,11 @@ pub fn complete(
     let mut node_labels = pinned_nodes.to_vec();
     let mut edge_labels = pinned_edges.to_vec();
     let node_pref = lcl.label_preference();
-    assert_eq!(node_pref.len(), lcl.node_alphabet(), "preference must be a permutation");
+    assert_eq!(
+        node_pref.len(),
+        lcl.node_alphabet(),
+        "preference must be a permutation"
+    );
     if lcl.node_alphabet() > 1 {
         for v in g.nodes() {
             if node_labels[v.index()].is_none() {
@@ -188,6 +192,8 @@ pub fn complete(
         }
         let (var, alphabet) = vars[depth];
         let mut assigned = false;
+        // `next_label = 0` below resets the *next* descent, not this range.
+        #[allow(clippy::needless_range_loop, clippy::mut_range_bound)]
         for label_rank in next_label..alphabet {
             steps += 1;
             if steps > cap {
@@ -343,7 +349,7 @@ mod tests {
             },
             &ProperColoring::new(2),
             &pins,
-            &vec![None; 4],
+            &[None; 4],
             &all,
             10_000,
         )
@@ -368,7 +374,7 @@ mod tests {
             },
             &ProperColoring::new(2),
             &pins,
-            &vec![None; 1],
+            &[None; 1],
             &all,
             1000,
         )
@@ -409,8 +415,8 @@ mod tests {
                 node_inputs: &[],
             },
             &ProperColoring::new(2),
-            &vec![None; 4],
-            &vec![None; 3],
+            &[None; 4],
+            &[None; 3],
             &interior,
             10_000,
         )

@@ -49,7 +49,7 @@ pub use view::{Labeling, LclView, Verdict};
 /// endpoint *unique identifiers* (label `0` = oriented from the
 /// smaller-UID endpoint to the larger) so that they survive the local
 /// re-indexing of ball views.
-pub trait Lcl {
+pub trait Lcl: Sync {
     /// Human-readable problem name.
     fn name(&self) -> String;
 

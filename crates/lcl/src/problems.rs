@@ -343,7 +343,7 @@ impl Lcl for Splitting {
     fn verdict(&self, view: &LclView<'_>) -> Verdict {
         let c = view.center;
         let d = view.true_degree[c.index()];
-        if d % 2 != 0 {
+        if !d.is_multiple_of(2) {
             return Verdict::Violated; // problem only defined on even degrees
         }
         if !view.sees_all_edges_of(c) {
@@ -643,27 +643,51 @@ mod tests {
         // Center uid 1 smallest: label 0 = center→leaf (outgoing for center).
         let two_two = vec![Some(0), Some(0), Some(1), Some(1)];
         assert_eq!(
-            AlmostBalancedOrientation
-                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &two_two)),
+            AlmostBalancedOrientation.verdict(&full_view(
+                &g,
+                NodeId(0),
+                &uids,
+                &deg,
+                &nl,
+                &two_two
+            )),
             Verdict::Satisfied
         );
         let all_out = vec![Some(0); 4];
         assert_eq!(
-            AlmostBalancedOrientation
-                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &all_out)),
+            AlmostBalancedOrientation.verdict(&full_view(
+                &g,
+                NodeId(0),
+                &uids,
+                &deg,
+                &nl,
+                &all_out
+            )),
             Verdict::Violated
         );
         // Three assigned outgoing, one free: best case 3-1 — violated.
         let three_out = vec![Some(0), Some(0), Some(0), None];
         assert_eq!(
-            AlmostBalancedOrientation
-                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &three_out)),
+            AlmostBalancedOrientation.verdict(&full_view(
+                &g,
+                NodeId(0),
+                &uids,
+                &deg,
+                &nl,
+                &three_out
+            )),
             Verdict::Violated
         );
         let two_free = vec![Some(0), Some(0), None, None];
         assert_eq!(
-            AlmostBalancedOrientation
-                .verdict(&full_view(&g, NodeId(0), &uids, &deg, &nl, &two_free)),
+            AlmostBalancedOrientation.verdict(&full_view(
+                &g,
+                NodeId(0),
+                &uids,
+                &deg,
+                &nl,
+                &two_free
+            )),
             Verdict::Undetermined
         );
     }
@@ -1018,7 +1042,11 @@ mod more_tests {
 
     #[test]
     fn minimal_dominating_set_solved_by_brute_force() {
-        for g in [generators::path(7), generators::cycle(8), generators::star(4)] {
+        for g in [
+            generators::path(7),
+            generators::cycle(8),
+            generators::star(4),
+        ] {
             let n = g.n();
             let (nl, _) = brute::solve(&g, &uids(n), &MinimalDominatingSet, 5_000_000)
                 .expect("dominating sets always exist");
@@ -1078,17 +1106,11 @@ mod more_tests {
         let g = generators::cycle(9);
         // Distance-2 coloring of C9 with 3 colors: 0,1,2 repeating.
         let net = Network::with_identity_ids(g);
-        let good = Labeling::from_node_labels(
-            vec![0, 1, 2, 0, 1, 2, 0, 1, 2],
-            net.graph().m(),
-        );
+        let good = Labeling::from_node_labels(vec![0, 1, 2, 0, 1, 2, 0, 1, 2], net.graph().m());
         let lcl = DistanceTwoColoring::new(3);
         assert!(verify_centralized(&net, &lcl, &good).is_empty());
         // A proper-but-not-distance-2 coloring fails.
-        let bad = Labeling::from_node_labels(
-            vec![0, 1, 0, 1, 0, 1, 0, 1, 2],
-            net.graph().m(),
-        );
+        let bad = Labeling::from_node_labels(vec![0, 1, 0, 1, 0, 1, 0, 1, 2], net.graph().m());
         assert!(!verify_centralized(&net, &lcl, &bad).is_empty());
     }
 

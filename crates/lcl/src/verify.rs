@@ -55,11 +55,7 @@ pub fn verify_distributed_in<In: Clone>(
         };
         lcl.verdict(&view) == Verdict::Satisfied
     });
-    let violations = net
-        .graph()
-        .nodes()
-        .filter(|v| !oks[v.index()])
-        .collect();
+    let violations = net.graph().nodes().filter(|v| !oks[v.index()]).collect();
     (violations, stats)
 }
 

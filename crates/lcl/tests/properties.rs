@@ -5,7 +5,7 @@
 //! partial labeling can never be completed into a violated one. The
 //! brute-force completion's soundness rests entirely on this.
 
-use lad_graph::{builder, generators, NodeId};
+use lad_graph::{builder, NodeId};
 use lad_lcl::problems::{
     AlmostBalancedOrientation, DistanceTwoColoring, MaximalMatching, MinimalDominatingSet,
     MinimalVertexCover, Mis, ProperColoring, ProperEdgeColoring, SinklessOrientation, Splitting,

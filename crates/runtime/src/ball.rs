@@ -28,7 +28,7 @@ use lad_graph::{EdgeId, Graph, GraphBuilder, NodeId};
 /// // (at distance 4 around the back) is invisible.
 /// assert!(outs.iter().all(|&(n, m)| n == 7 && m == 6));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ball<In = ()> {
     graph: Graph,
     center: NodeId,
@@ -41,12 +41,211 @@ pub struct Ball<In = ()> {
     to_global_edge: Vec<EdgeId>,
 }
 
+/// Reusable per-worker BFS bookkeeping: an epoch-stamped visited/local-index
+/// array sized to the *network*, amortized over every ball a worker gathers.
+/// Replaces the per-ball `HashMap` on the executor hot paths — membership
+/// tests become two array reads and gathering allocates nothing.
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    stamp: Vec<u32>,
+    local: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    /// Scratch for an `n`-node network.
+    pub(crate) fn new(n: usize) -> Self {
+        Scratch {
+            stamp: vec![0; n],
+            local: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh membership set (O(1) amortized).
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn insert(&mut self, v: NodeId, local: u32) {
+        self.stamp[v.index()] = self.epoch;
+        self.local[v.index()] = local;
+    }
+
+    #[inline]
+    fn get(&self, v: NodeId) -> Option<NodeId> {
+        (self.stamp[v.index()] == self.epoch).then(|| NodeId(self.local[v.index()]))
+    }
+}
+
+/// The BFS *membership* of a ball: nodes in discovery order with their
+/// distances, complete up to `radius`. Separated from [`Ball`] so caches can
+/// keep it per node and grow it incrementally — expanding radius `r` to
+/// `r + 1` continues the frontier BFS instead of re-running it from the
+/// center.
+///
+/// Invariant: `members` is exactly the sequence a from-scratch bounded BFS
+/// ([`Ball::collect`]) would produce at `radius` — distances are
+/// nondecreasing, so the radius-`r` membership (`r ≤ radius`) is a prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct BallMembers {
+    members: Vec<(NodeId, usize)>,
+    radius: usize,
+}
+
+impl BallMembers {
+    /// Bounded BFS from `center`, identical in discovery order to
+    /// [`Ball::collect`].
+    pub(crate) fn gather(g: &Graph, center: NodeId, radius: usize, scratch: &mut Scratch) -> Self {
+        scratch.begin();
+        let mut members: Vec<(NodeId, usize)> = vec![(center, 0)];
+        scratch.insert(center, 0);
+        let mut head = 0usize;
+        while head < members.len() {
+            let (v, d) = members[head];
+            head += 1;
+            if d == radius {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if scratch.get(u).is_none() {
+                    scratch.insert(u, members.len() as u32);
+                    members.push((u, d + 1));
+                }
+            }
+        }
+        BallMembers { members, radius }
+    }
+
+    /// The radius this membership is complete to.
+    pub(crate) fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Grows the membership to `new_radius` by continuing the BFS from the
+    /// current frontier. Nodes strictly inside the old radius already have
+    /// all neighbors discovered, so only frontier and newer nodes are
+    /// (re)processed; the resulting member order is exactly what a
+    /// from-scratch BFS at `new_radius` would produce.
+    pub(crate) fn expand(&mut self, g: &Graph, new_radius: usize, scratch: &mut Scratch) {
+        if new_radius <= self.radius {
+            return;
+        }
+        scratch.begin();
+        for (i, &(v, _)) in self.members.iter().enumerate() {
+            scratch.insert(v, i as u32);
+        }
+        let old_radius = self.radius;
+        let mut head = self.members.partition_point(|&(_, d)| d < old_radius);
+        while head < self.members.len() {
+            let (v, d) = self.members[head];
+            head += 1;
+            if d == new_radius {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if scratch.get(u).is_none() {
+                    scratch.insert(u, self.members.len() as u32);
+                    self.members.push((u, d + 1));
+                }
+            }
+        }
+        self.radius = new_radius;
+    }
+
+    /// Number of members within distance `r`.
+    fn prefix_len(&self, r: usize) -> usize {
+        self.members.partition_point(|&(_, d)| d <= r)
+    }
+
+    /// Materializes the radius-`r` ball (`r ≤ self.radius`) from this
+    /// membership — bit-identical to `Ball::collect(net, center, r)`.
+    pub(crate) fn build<In: Clone>(
+        &self,
+        net: &Network<In>,
+        r: usize,
+        scratch: &mut Scratch,
+    ) -> Ball<In> {
+        assert!(
+            r <= self.radius,
+            "membership only complete to {}",
+            self.radius
+        );
+        let prefix = &self.members[..self.prefix_len(r)];
+        scratch.begin();
+        for (i, &(v, _)) in prefix.iter().enumerate() {
+            scratch.insert(v, i as u32);
+        }
+        build_from_members(net, prefix, r, |u| scratch.get(u))
+    }
+}
+
+/// Shared ball constructor: builds the view subgraph, identifier/input/
+/// degree tables, and global-name maps from a BFS membership. Both
+/// [`Ball::collect`] and the cached/incremental paths funnel through this,
+/// which is what makes their outputs structurally identical.
+fn build_from_members<In: Clone>(
+    net: &Network<In>,
+    members: &[(NodeId, usize)],
+    radius: usize,
+    local_of: impl Fn(NodeId) -> Option<NodeId>,
+) -> Ball<In> {
+    let g = net.graph();
+    let to_global_node: Vec<NodeId> = members.iter().map(|&(v, _)| v).collect();
+    let dist: Vec<usize> = members.iter().map(|&(_, d)| d).collect();
+    let mut b = GraphBuilder::new(members.len());
+    let mut edge_pairs = Vec::new();
+    for (li, &(v, d)) in members.iter().enumerate() {
+        if d == radius {
+            continue; // only edges with an endpoint at distance < r are known
+        }
+        for (&u, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
+            if let Some(lu) = local_of(u) {
+                let lv = NodeId::from_index(li);
+                if b.add_edge(lv, lu) {
+                    edge_pairs.push(((lv.min(lu), lv.max(lu)), e));
+                }
+            }
+        }
+    }
+    // The builder sorts edges by endpoint pair; replicate that order for
+    // the global-edge map.
+    edge_pairs.sort_by_key(|&(pair, _)| pair);
+    let to_global_edge: Vec<EdgeId> = edge_pairs.into_iter().map(|(_, e)| e).collect();
+    let graph = b.build();
+    debug_assert_eq!(graph.m(), to_global_edge.len());
+    let uids = to_global_node.iter().map(|&v| net.uid(v)).collect();
+    let inputs = to_global_node
+        .iter()
+        .map(|&v| net.input(v).clone())
+        .collect();
+    let global_degree = to_global_node.iter().map(|&v| g.degree(v)).collect();
+    Ball {
+        graph,
+        center: NodeId(0),
+        radius,
+        dist,
+        uids,
+        inputs,
+        global_degree,
+        to_global_node,
+        to_global_edge,
+    }
+}
+
 impl<In: Clone> Ball<In> {
     /// Materializes the radius-`r` view of `center` in `net`.
     ///
     /// Work and memory are proportional to the *ball*, not the graph, so
     /// running a constant-radius decoder at every node of a large network
-    /// stays near-linear overall.
+    /// stays near-linear overall. (The executor hot paths use a reusable
+    /// [`Scratch`] instead of this per-call `HashMap`; both produce
+    /// identical balls.)
     pub fn collect(net: &Network<In>, center: NodeId, radius: usize) -> Self {
         let g = net.graph();
         // Bounded BFS with ball-sized bookkeeping.
@@ -62,52 +261,13 @@ impl<In: Clone> Ball<In> {
                 continue;
             }
             for &u in g.neighbors(v) {
-                if !local_of.contains_key(&u) {
-                    local_of.insert(u, NodeId::from_index(members.len()));
+                if let std::collections::hash_map::Entry::Vacant(e) = local_of.entry(u) {
+                    e.insert(NodeId::from_index(members.len()));
                     members.push((u, d + 1));
                 }
             }
         }
-        let to_global_node: Vec<NodeId> = members.iter().map(|&(v, _)| v).collect();
-        let dist: Vec<usize> = members.iter().map(|&(_, d)| d).collect();
-        let mut b = GraphBuilder::new(members.len());
-        let mut edge_pairs = Vec::new();
-        for (li, &(v, d)) in members.iter().enumerate() {
-            if d == radius {
-                continue; // only edges with an endpoint at distance < r are known
-            }
-            for (&u, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
-                if let Some(&lu) = local_of.get(&u) {
-                    let lv = NodeId::from_index(li);
-                    if b.add_edge(lv, lu) {
-                        edge_pairs.push(((lv.min(lu), lv.max(lu)), e));
-                    }
-                }
-            }
-        }
-        // The builder sorts edges by endpoint pair; replicate that order for
-        // the global-edge map.
-        edge_pairs.sort_by_key(|&(pair, _)| pair);
-        let to_global_edge: Vec<EdgeId> = edge_pairs.into_iter().map(|(_, e)| e).collect();
-        let graph = b.build();
-        debug_assert_eq!(graph.m(), to_global_edge.len());
-        let uids = to_global_node.iter().map(|&v| net.uid(v)).collect();
-        let inputs = to_global_node
-            .iter()
-            .map(|&v| net.input(v).clone())
-            .collect();
-        let global_degree = to_global_node.iter().map(|&v| g.degree(v)).collect();
-        Ball {
-            graph,
-            center: NodeId(0),
-            radius,
-            dist,
-            uids,
-            inputs,
-            global_degree,
-            to_global_node,
-            to_global_edge,
-        }
+        build_from_members(net, &members, radius, |u| local_of.get(&u).copied())
     }
 }
 

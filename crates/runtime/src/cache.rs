@@ -1,0 +1,235 @@
+//! A shared, thread-safe cache of ball views.
+//!
+//! Gathering a radius-`r` ball is the dominant cost of executing a LOCAL
+//! algorithm, and neighboring nodes' balls overlap heavily — on bounded-
+//! degree graphs a single ball is re-explored `Θ(Δ^r)` times across an
+//! execution, and adaptive decoders ask the *same node* for radii
+//! `1, 2, …, r` in sequence. [`ViewCache`] eliminates both redundancies:
+//!
+//! * **Reuse across calls**: the first request for `(v, r)` materializes the
+//!   ball and stores it behind an [`Arc`]; every later request (same run,
+//!   later phase, other thread) is a clone of the `Arc`.
+//! * **Incremental expansion**: per node the cache keeps the BFS membership
+//!   at the largest radius seen so far. A request for a bigger radius
+//!   *continues* that BFS from its frontier instead of restarting from the
+//!   center, and a request for a smaller radius takes a prefix — BFS
+//!   discovery order makes radius-`r` membership a prefix of radius-`r+1`
+//!   membership.
+//!
+//! Cached balls are **bit-identical** to what [`Ball::collect`] produces
+//! (`crates/runtime/tests/equivalence.rs` enforces this differentially):
+//! membership order is the BFS queue order either way, and both paths build
+//! the final [`Ball`] through one shared constructor.
+//!
+//! Concurrency is per-node: each node has its own mutex-guarded slot, so
+//! parallel workers contend only when they ask for the *same* center at the
+//! same time. The cache never blocks a slot while gathering another.
+
+use crate::ball::{Ball, BallMembers, Scratch};
+use crate::network::Network;
+use lad_graph::NodeId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-node cache entry: the widest BFS membership seen plus materialized
+/// balls by radius.
+#[derive(Debug)]
+struct Slot<In> {
+    members: Option<BallMembers>,
+    balls: BTreeMap<usize, Arc<Ball<In>>>,
+}
+
+impl<In> Default for Slot<In> {
+    fn default() -> Self {
+        Slot {
+            members: None,
+            balls: BTreeMap::new(),
+        }
+    }
+}
+
+/// Counters describing how a [`ViewCache`] has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered by an already-materialized ball.
+    pub hits: u64,
+    /// Requests that gathered a ball from scratch.
+    pub misses: u64,
+    /// Requests answered by growing or slicing an existing membership
+    /// (cheaper than a miss, costlier than a hit).
+    pub expansions: u64,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.expansions
+    }
+}
+
+/// A shared, thread-safe ball/view cache for one network.
+///
+/// Create one per [`Network`] (sizes must match) and pass it to the cached
+/// executor entry points ([`crate::run_local_cached`],
+/// [`crate::run_local_par_cached`], …) or query it directly with
+/// [`ViewCache::ball`].
+///
+/// Memory grows with the number of distinct `(node, radius)` balls
+/// materialized; call [`ViewCache::clear`] between phases if that matters
+/// more than reuse.
+#[derive(Debug)]
+pub struct ViewCache<In> {
+    slots: Vec<Mutex<Slot<In>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expansions: AtomicU64,
+}
+
+impl<In: Clone> ViewCache<In> {
+    /// An empty cache for an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        ViewCache {
+            slots: (0..n).map(|_| Mutex::new(Slot::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expansions: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache sized for `net`.
+    pub fn for_network(net: &Network<In>) -> Self {
+        ViewCache::new(net.graph().n())
+    }
+
+    /// Number of node slots (the network size this cache serves).
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The radius-`radius` ball of `center`, from cache when possible.
+    ///
+    /// Equivalent to `Arc::new(Ball::collect(net, center, radius))` — the
+    /// returned ball is structurally identical — but amortizes gathering
+    /// across requests.
+    pub fn ball(&self, net: &Network<In>, center: NodeId, radius: usize) -> Arc<Ball<In>> {
+        let mut scratch = Scratch::new(net.graph().n());
+        self.ball_with_scratch(net, center, radius, &mut scratch)
+    }
+
+    /// Like [`ViewCache::ball`] with caller-provided BFS scratch space
+    /// (reused across many requests by the executors).
+    pub(crate) fn ball_with_scratch(
+        &self,
+        net: &Network<In>,
+        center: NodeId,
+        radius: usize,
+        scratch: &mut Scratch,
+    ) -> Arc<Ball<In>> {
+        let mut slot = self.slots[center.index()]
+            .lock()
+            .expect("view-cache slot poisoned");
+        if let Some(ball) = slot.balls.get(&radius) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ball);
+        }
+        let g = net.graph();
+        match &mut slot.members {
+            None => {
+                slot.members = Some(BallMembers::gather(g, center, radius, scratch));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(m) if m.radius() < radius => {
+                m.expand(g, radius, scratch);
+                self.expansions.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(_) => {
+                // Prefix of an already-gathered wider membership.
+                self.expansions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let members = slot.members.as_ref().expect("members just ensured");
+        let ball = Arc::new(members.build(net, radius, scratch));
+        slot.balls.insert(radius, Arc::clone(&ball));
+        ball
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expansions: self.expansions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all cached memberships and balls, keeping the counters.
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            let mut slot = slot.lock().expect("view-cache slot poisoned");
+            slot.members = None;
+            slot.balls.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_graph::generators;
+
+    #[test]
+    fn cached_ball_matches_collect_at_every_radius() {
+        let net = Network::with_identity_ids(generators::grid2d(5, 4, false));
+        let cache = ViewCache::for_network(&net);
+        for v in net.graph().nodes() {
+            for r in 0..=4 {
+                let cached = cache.ball(&net, v, r);
+                let fresh = Ball::collect(&net, v, r);
+                assert_eq!(*cached, fresh, "node {v:?} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_and_growing_radii_stay_consistent() {
+        // Ask big first (prefix path), then ask bigger (expansion path).
+        let net = Network::with_identity_ids(generators::cycle(12));
+        let cache = ViewCache::for_network(&net);
+        for &r in &[3usize, 1, 0, 5, 2, 4] {
+            let cached = cache.ball(&net, NodeId(7), r);
+            assert_eq!(*cached, Ball::collect(&net, NodeId(7), r), "radius {r}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.requests(), 6);
+    }
+
+    #[test]
+    fn repeat_requests_hit() {
+        let net = Network::with_identity_ids(generators::path(6));
+        let cache = ViewCache::for_network(&net);
+        let a = cache.ball(&net, NodeId(2), 2);
+        let b = cache.ball(&net, NodeId(2), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                expansions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counting() {
+        let net = Network::with_identity_ids(generators::path(6));
+        let cache = ViewCache::for_network(&net);
+        cache.ball(&net, NodeId(0), 1);
+        cache.clear();
+        let again = cache.ball(&net, NodeId(0), 1);
+        assert_eq!(*again, Ball::collect(&net, NodeId(0), 1));
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

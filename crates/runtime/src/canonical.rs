@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn order_equivalent_ids_same_key() {
         let g = generators::path(7);
-        let a = Network::with_ids(g.clone(), IdAssignment::from_uids(vec![1, 2, 3, 4, 5, 6, 7]));
+        let a = Network::with_ids(
+            g.clone(),
+            IdAssignment::from_uids(vec![1, 2, 3, 4, 5, 6, 7]),
+        );
         let b = Network::with_ids(
             g,
             IdAssignment::from_uids(vec![10, 20, 30, 44, 58, 600, 7000]),

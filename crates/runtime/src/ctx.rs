@@ -1,9 +1,25 @@
 //! Per-node execution contexts with round accounting.
 
-use crate::ball::Ball;
+use crate::ball::{Ball, BallMembers, Scratch};
+use crate::cache::ViewCache;
 use crate::network::Network;
 use lad_graph::NodeId;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// Where a context materializes its views from. All three sources produce
+/// bit-identical balls; they differ only in what work is amortized.
+enum ViewSource<'a, In> {
+    /// Fresh `Ball::collect` per request — the reference implementation.
+    Direct,
+    /// Worker-local BFS scratch plus a per-node membership memo, so
+    /// adaptive decoders growing `r` by one expand the previous BFS
+    /// instead of restarting it.
+    Scratch(&'a RefCell<Scratch>),
+    /// A shared [`ViewCache`], reusing balls across nodes, phases, and
+    /// threads.
+    Cached(&'a ViewCache<In>, &'a RefCell<Scratch>),
+}
 
 /// The handle a LOCAL algorithm runs against at one node.
 ///
@@ -15,14 +31,40 @@ pub struct NodeCtx<'a, In = ()> {
     net: &'a Network<In>,
     node: NodeId,
     max_radius: Cell<usize>,
+    source: ViewSource<'a, In>,
+    /// Membership memo for the `Scratch` source (grown, never shrunk).
+    memo: RefCell<Option<BallMembers>>,
 }
 
 impl<'a, In: Clone> NodeCtx<'a, In> {
     pub(crate) fn new(net: &'a Network<In>, node: NodeId) -> Self {
+        Self::with_source(net, node, ViewSource::Direct)
+    }
+
+    pub(crate) fn with_scratch(
+        net: &'a Network<In>,
+        node: NodeId,
+        scratch: &'a RefCell<Scratch>,
+    ) -> Self {
+        Self::with_source(net, node, ViewSource::Scratch(scratch))
+    }
+
+    pub(crate) fn with_cache(
+        net: &'a Network<In>,
+        node: NodeId,
+        cache: &'a ViewCache<In>,
+        scratch: &'a RefCell<Scratch>,
+    ) -> Self {
+        Self::with_source(net, node, ViewSource::Cached(cache, scratch))
+    }
+
+    fn with_source(net: &'a Network<In>, node: NodeId, source: ViewSource<'a, In>) -> Self {
         NodeCtx {
             net,
             node,
             max_radius: Cell::new(0),
+            source,
+            memo: RefCell::new(None),
         }
     }
 
@@ -53,11 +95,54 @@ impl<'a, In: Clone> NodeCtx<'a, In> {
 
     /// The radius-`r` view of this node. Calling with radius `r` commits
     /// the algorithm to at least `r` rounds.
+    ///
+    /// The returned ball is identical regardless of which executor entry
+    /// point (sequential, parallel, cached) created this context.
     pub fn ball(&self, r: usize) -> Ball<In> {
+        self.note_radius(r);
+        match &self.source {
+            ViewSource::Direct => Ball::collect(self.net, self.node, r),
+            ViewSource::Scratch(scratch) => {
+                let mut scratch = scratch.borrow_mut();
+                let mut memo = self.memo.borrow_mut();
+                let g = self.net.graph();
+                match memo.as_mut() {
+                    None => *memo = Some(BallMembers::gather(g, self.node, r, &mut scratch)),
+                    Some(m) if m.radius() < r => m.expand(g, r, &mut scratch),
+                    Some(_) => {}
+                }
+                memo.as_ref()
+                    .expect("memo just ensured")
+                    .build(self.net, r, &mut scratch)
+            }
+            ViewSource::Cached(cache, scratch) => {
+                let arc =
+                    cache.ball_with_scratch(self.net, self.node, r, &mut scratch.borrow_mut());
+                (*arc).clone()
+            }
+        }
+    }
+
+    /// Like [`NodeCtx::ball`] but shares the allocation when a cache backs
+    /// this context; otherwise a freshly gathered ball is wrapped. Use for
+    /// zero-copy access on hot decoder paths.
+    pub fn view(&self, r: usize) -> Arc<Ball<In>> {
+        self.note_radius(r);
+        match &self.source {
+            ViewSource::Cached(cache, scratch) => {
+                cache.ball_with_scratch(self.net, self.node, r, &mut scratch.borrow_mut())
+            }
+            _ => {
+                // `ball` re-notes the radius; that is idempotent.
+                Arc::new(self.ball(r))
+            }
+        }
+    }
+
+    fn note_radius(&self, r: usize) {
         if r > self.max_radius.get() {
             self.max_radius.set(r);
         }
-        Ball::collect(self.net, self.node, r)
     }
 
     /// The largest radius requested so far.
@@ -98,5 +183,35 @@ mod tests {
         assert_eq!(ctx.n(), 5);
         assert_eq!(ctx.max_degree(), 4);
         assert_eq!(ctx.rounds_used(), 0);
+    }
+
+    #[test]
+    fn all_sources_agree_on_balls() {
+        let net = Network::with_identity_ids(generators::grid2d(4, 4, true));
+        let cache = ViewCache::for_network(&net);
+        let scratch = RefCell::new(Scratch::new(net.graph().n()));
+        for v in net.graph().nodes() {
+            let direct = NodeCtx::new(&net, v);
+            let scratched = NodeCtx::with_scratch(&net, v, &scratch);
+            let cached = NodeCtx::with_cache(&net, v, &cache, &scratch);
+            // Interleave radii to exercise memo expansion and prefixing.
+            for r in [1usize, 3, 2, 0, 4] {
+                let reference = direct.ball(r);
+                assert_eq!(scratched.ball(r), reference, "scratch node {v:?} r {r}");
+                assert_eq!(cached.ball(r), reference, "cache node {v:?} r {r}");
+                assert_eq!(*cached.view(r), reference, "view node {v:?} r {r}");
+            }
+            assert_eq!(direct.rounds_used(), 4);
+            assert_eq!(scratched.rounds_used(), 4);
+            assert_eq!(cached.rounds_used(), 4);
+        }
+    }
+
+    #[test]
+    fn view_wraps_ball_for_direct_contexts() {
+        let net = Network::with_identity_ids(generators::path(5));
+        let ctx = NodeCtx::new(&net, NodeId(2));
+        assert_eq!(*ctx.view(2), ctx.ball(2));
+        assert_eq!(ctx.rounds_used(), 2);
     }
 }

@@ -1,8 +1,38 @@
 //! Executing a LOCAL algorithm at every node and measuring its locality.
+//!
+//! # Entry points
+//!
+//! All executors run the same per-node function against [`NodeCtx`] handles
+//! and produce *identical* outputs and [`RoundStats`] — a LOCAL algorithm is
+//! a pure function of each node's view, so scheduling cannot change results.
+//! They differ only in wall-clock cost:
+//!
+//! | function | views | schedule |
+//! |---|---|---|
+//! | [`run_local`] | fresh BFS per request | sequential (reference) |
+//! | [`run_local_cached`] | shared [`ViewCache`] | sequential |
+//! | [`run_local_par`] | worker-local scratch + memo | contiguous chunks across threads |
+//! | [`run_local_par_cached`] | shared [`ViewCache`] | contiguous chunks across threads |
+//!
+//! (`run_local_fallible*` variants propagate the first per-node error in
+//! node-index order — also independent of the schedule.)
+//!
+//! Parallelism is gated behind the `parallel` cargo feature (on by
+//! default); with the feature off every entry point runs sequentially but
+//! keeps its signature. Thread count resolution is described at
+//! [`effective_parallelism`]. The differential harness in
+//! `crates/runtime/tests/equivalence.rs` pins down the equivalence of all
+//! paths bit for bit.
 
+use crate::ball::Scratch;
+use crate::cache::ViewCache;
 use crate::ctx::NodeCtx;
 use crate::network::Network;
 use lad_graph::NodeId;
+use std::cell::RefCell;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Round-complexity statistics of one execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,6 +41,29 @@ pub struct RoundStats {
 }
 
 impl RoundStats {
+    /// The all-zero statistics of an `n`-node execution that never
+    /// communicated. This is the identity of [`RoundStats::sequential`].
+    pub fn zero(n: usize) -> Self {
+        RoundStats {
+            per_node: vec![0; n],
+        }
+    }
+
+    /// Statistics from explicit per-node view radii.
+    pub fn from_per_node(per_node: Vec<usize>) -> Self {
+        RoundStats { per_node }
+    }
+
+    /// The per-node view radii, indexed by node.
+    pub fn per_node(&self) -> &[usize] {
+        &self.per_node
+    }
+
+    /// Number of nodes in the measured execution.
+    pub fn n(&self) -> usize {
+        self.per_node.len()
+    }
+
     /// The round complexity: the maximum view radius any node requested.
     pub fn rounds(&self) -> usize {
         self.per_node.iter().copied().max().unwrap_or(0)
@@ -44,8 +97,57 @@ impl RoundStats {
     }
 }
 
+/// Networks smaller than this run sequentially even when threads are
+/// available — spawn overhead would dominate.
+const PAR_MIN_NODES: usize = 512;
+
+/// `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide thread-count override for the `*_par` entry points, taking
+/// precedence over the `LAD_THREADS` environment variable and the detected
+/// parallelism. `Some(1)` forces sequential execution; `None` restores
+/// automatic selection. Intended for tests and benchmarks that compare
+/// schedules within one process.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |t| t.max(1)), Ordering::SeqCst);
+}
+
+/// The number of worker threads [`run_local_par`] would use on an `n`-node
+/// network, resolved in order:
+///
+/// 1. `1` when built without the `parallel` feature;
+/// 2. the [`set_thread_override`] value, if set;
+/// 3. the `LAD_THREADS` environment variable, if a positive integer;
+/// 4. `1` when `n` is too small to amortize thread spawns;
+/// 5. [`std::thread::available_parallelism`].
+pub fn effective_parallelism(n: usize) -> usize {
+    if cfg!(not(feature = "parallel")) {
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o != 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("LAD_THREADS") {
+        if let Ok(t) = s.parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    if n < PAR_MIN_NODES {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// Runs `algo` independently at every node, returning per-node outputs and
 /// the measured locality.
+///
+/// This is the *reference* executor: one fresh BFS per view request, no
+/// sharing, no threads. [`run_local_par`] and the cached variants are
+/// drop-in replacements with identical results.
 ///
 /// # Example
 ///
@@ -90,6 +192,269 @@ pub fn run_local_fallible<In: Clone, Out, E>(
         per_node.push(ctx.rounds_used());
     }
     Ok((outs, RoundStats { per_node }))
+}
+
+/// Sequential executor backed by an optional shared cache; otherwise a
+/// worker-local scratch/memo. Single code path for all non-reference
+/// sequential variants.
+fn run_seq_impl<In: Clone, Out, E>(
+    net: &Network<In>,
+    cache: Option<&ViewCache<In>>,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E>,
+) -> Result<(Vec<Out>, RoundStats), E> {
+    let n = net.graph().n();
+    let scratch = RefCell::new(Scratch::new(n));
+    let mut outs = Vec::with_capacity(n);
+    let mut per_node = Vec::with_capacity(n);
+    for v in net.graph().nodes() {
+        let ctx = match cache {
+            Some(c) => NodeCtx::with_cache(net, v, c, &scratch),
+            None => NodeCtx::with_scratch(net, v, &scratch),
+        };
+        outs.push(algo(&ctx)?);
+        per_node.push(ctx.rounds_used());
+    }
+    Ok((outs, RoundStats { per_node }))
+}
+
+/// Parallel executor: splits nodes into `threads` contiguous chunks, each
+/// processed in index order by one scoped thread with its own BFS scratch.
+/// Outputs and per-node radii are written into index-addressed slots, so
+/// results are position-exact regardless of scheduling. Errors are reduced
+/// to the smallest erroring node index — per-node functions are
+/// independent, so that is exactly the error a sequential run returns.
+fn run_par_impl<In, Out, E>(
+    net: &Network<In>,
+    threads: usize,
+    cache: Option<&ViewCache<In>>,
+    algo: &(impl Fn(&NodeCtx<In>) -> Result<Out, E> + Sync),
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+    E: Send,
+{
+    let n = net.graph().n();
+    let mut outs: Vec<Option<Out>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut per_node = vec![0usize; n];
+    let chunk_len = n.div_ceil(threads.max(1)).max(1);
+    let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        let mut out_rest = &mut outs[..];
+        let mut pn_rest = &mut per_node[..];
+        let mut start = 0usize;
+        while !out_rest.is_empty() {
+            let take = chunk_len.min(out_rest.len());
+            let (out_chunk, rest) = out_rest.split_at_mut(take);
+            out_rest = rest;
+            let (pn_chunk, rest) = pn_rest.split_at_mut(take);
+            pn_rest = rest;
+            let first_err = &first_err;
+            scope.spawn(move || {
+                let scratch = RefCell::new(Scratch::new(n));
+                for (off, (out_slot, pn_slot)) in
+                    out_chunk.iter_mut().zip(pn_chunk.iter_mut()).enumerate()
+                {
+                    let v = NodeId::from_index(start + off);
+                    let ctx = match cache {
+                        Some(c) => NodeCtx::with_cache(net, v, c, &scratch),
+                        None => NodeCtx::with_scratch(net, v, &scratch),
+                    };
+                    match algo(&ctx) {
+                        Ok(out) => {
+                            *out_slot = Some(out);
+                            *pn_slot = ctx.rounds_used();
+                        }
+                        Err(e) => {
+                            // Keep the smallest erroring node index; abandon
+                            // the rest of this chunk like a sequential run
+                            // abandons everything after its first error.
+                            let mut fe = first_err.lock().expect("error slot poisoned");
+                            let idx = start + off;
+                            if fe.as_ref().is_none_or(|&(j, _)| idx < j) {
+                                *fe = Some((idx, e));
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+            start += take;
+        }
+    });
+    if let Some((_, e)) = first_err.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let outs = outs
+        .into_iter()
+        .map(|o| o.expect("every chunk ran to completion"))
+        .collect();
+    Ok((outs, RoundStats { per_node }))
+}
+
+fn infallible<In, Out>(
+    algo: impl Fn(&NodeCtx<In>) -> Out,
+) -> impl Fn(&NodeCtx<In>) -> Result<Out, Infallible> {
+    move |ctx| Ok(algo(ctx))
+}
+
+fn unwrap_infallible<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => match e {},
+    }
+}
+
+/// Whether `threads` workers actually beat a sequential pass over `n`
+/// nodes, given the feature gate.
+fn worth_spawning(n: usize, threads: usize) -> bool {
+    cfg!(feature = "parallel") && threads > 1 && n > 1
+}
+
+/// [`run_local`] over a shared [`ViewCache`]: identical results, but view
+/// requests hit the cache. A second execution over the same cache (another
+/// phase of a composed algorithm, a lookup-table training pass, …) reuses
+/// every ball the first one gathered.
+pub fn run_local_cached<In: Clone, Out>(
+    net: &Network<In>,
+    cache: &ViewCache<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Out,
+) -> (Vec<Out>, RoundStats) {
+    unwrap_infallible(run_seq_impl(net, Some(cache), infallible(algo)))
+}
+
+/// Fallible [`run_local_cached`].
+///
+/// # Errors
+///
+/// Propagates the first per-node error in node-index order.
+pub fn run_local_fallible_cached<In: Clone, Out, E>(
+    net: &Network<In>,
+    cache: &ViewCache<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E>,
+) -> Result<(Vec<Out>, RoundStats), E> {
+    run_seq_impl(net, Some(cache), algo)
+}
+
+/// Parallel [`run_local`]: same outputs and [`RoundStats`], bit for bit,
+/// computed by [`effective_parallelism`] worker threads over contiguous
+/// node ranges. Falls back to a sequential pass when built without the
+/// `parallel` feature, when only one thread is available, or when the
+/// network is too small to amortize spawns.
+pub fn run_local_par<In, Out>(
+    net: &Network<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Out + Sync,
+) -> (Vec<Out>, RoundStats)
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+{
+    run_local_par_with(net, effective_parallelism(net.graph().n()), algo)
+}
+
+/// [`run_local_par`] with an explicit worker-thread count (`<= 1` runs
+/// sequentially). Results do not depend on `threads`.
+pub fn run_local_par_with<In, Out>(
+    net: &Network<In>,
+    threads: usize,
+    algo: impl Fn(&NodeCtx<In>) -> Out + Sync,
+) -> (Vec<Out>, RoundStats)
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+{
+    if worth_spawning(net.graph().n(), threads) {
+        unwrap_infallible(run_par_impl(net, threads, None, &infallible(algo)))
+    } else {
+        unwrap_infallible(run_seq_impl(net, None, infallible(algo)))
+    }
+}
+
+/// Parallel [`run_local_fallible`]: same success results and the same
+/// first-error-in-node-index-order semantics as the sequential run.
+///
+/// # Errors
+///
+/// Propagates the error of the smallest-index erroring node — per-node
+/// functions are independent, so this is exactly the error a sequential
+/// pass returns.
+pub fn run_local_fallible_par<In, Out, E>(
+    net: &Network<In>,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E> + Sync,
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+    E: Send,
+{
+    run_local_fallible_par_with(net, effective_parallelism(net.graph().n()), algo)
+}
+
+/// [`run_local_fallible_par`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates the first per-node error in node-index order, independent of
+/// `threads`.
+pub fn run_local_fallible_par_with<In, Out, E>(
+    net: &Network<In>,
+    threads: usize,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E> + Sync,
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+    E: Send,
+{
+    if worth_spawning(net.graph().n(), threads) {
+        run_par_impl(net, threads, None, &algo)
+    } else {
+        run_seq_impl(net, None, algo)
+    }
+}
+
+/// Parallel execution over a shared [`ViewCache`]: overlapping balls are
+/// gathered once (by whichever worker asks first) and reused by every
+/// other worker and by later executions over the same cache.
+pub fn run_local_par_cached<In, Out>(
+    net: &Network<In>,
+    cache: &ViewCache<In>,
+    threads: usize,
+    algo: impl Fn(&NodeCtx<In>) -> Out + Sync,
+) -> (Vec<Out>, RoundStats)
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+{
+    if worth_spawning(net.graph().n(), threads) {
+        unwrap_infallible(run_par_impl(net, threads, Some(cache), &infallible(algo)))
+    } else {
+        unwrap_infallible(run_seq_impl(net, Some(cache), infallible(algo)))
+    }
+}
+
+/// Fallible [`run_local_par_cached`].
+///
+/// # Errors
+///
+/// Propagates the first per-node error in node-index order, independent of
+/// `threads`.
+pub fn run_local_fallible_par_cached<In, Out, E>(
+    net: &Network<In>,
+    cache: &ViewCache<In>,
+    threads: usize,
+    algo: impl Fn(&NodeCtx<In>) -> Result<Out, E> + Sync,
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Send,
+    E: Send,
+{
+    if worth_spawning(net.graph().n(), threads) {
+        run_par_impl(net, threads, Some(cache), &algo)
+    } else {
+        run_seq_impl(net, Some(cache), algo)
+    }
 }
 
 #[cfg(test)]
@@ -152,10 +517,7 @@ mod tests {
             let mut r = 1;
             loop {
                 let ball = ctx.ball(r);
-                let sees_endpoint = ball
-                    .graph()
-                    .nodes()
-                    .any(|v| ball.global_degree(v) == 1);
+                let sees_endpoint = ball.graph().nodes().any(|v| ball.global_degree(v) == 1);
                 if sees_endpoint {
                     return r;
                 }
@@ -164,5 +526,81 @@ mod tests {
         });
         assert_eq!(stats.rounds_at(NodeId(0)), 1);
         assert_eq!(stats.rounds(), 5); // middle nodes reach an endpoint in 5
+    }
+
+    #[test]
+    fn zero_stats_are_sequential_identity() {
+        let net = Network::with_identity_ids(generators::cycle(6));
+        let (_, s) = run_local(&net, |ctx| ctx.ball(2).n());
+        assert_eq!(s.sequential(&RoundStats::zero(6)), s);
+        assert_eq!(RoundStats::zero(6).sequential(&s), s);
+        assert_eq!(RoundStats::zero(0).rounds(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_adaptive_algo() {
+        let net = Network::with_identity_ids(generators::path(40));
+        let algo = |ctx: &NodeCtx| {
+            let mut r = 1;
+            loop {
+                let ball = ctx.ball(r);
+                if ball.graph().nodes().any(|v| ball.global_degree(v) == 1) {
+                    return (r, ball.n());
+                }
+                r += 1;
+            }
+        };
+        let seq = run_local(&net, algo);
+        for threads in [1, 2, 5] {
+            assert_eq!(run_local_par_with(&net, threads, algo), seq);
+        }
+        let cache = ViewCache::for_network(&net);
+        assert_eq!(run_local_cached(&net, &cache, algo), seq);
+        assert_eq!(run_local_par_cached(&net, &cache, 3, algo), seq);
+        assert!(cache.stats().hits > 0, "second run should hit the cache");
+    }
+
+    #[test]
+    fn parallel_error_is_first_in_node_order() {
+        // Nodes 7, 3, and 31 all fail; every schedule must report node 3's
+        // error, like the sequential run does.
+        let net = Network::with_identity_ids(generators::cycle(40));
+        let algo = |ctx: &NodeCtx| {
+            let idx = ctx.node().index();
+            if idx == 7 || idx == 3 || idx == 31 {
+                Err(format!("node {idx} failed"))
+            } else {
+                Ok(ctx.ball(1).n())
+            }
+        };
+        let seq_err = run_local_fallible(&net, algo).unwrap_err();
+        assert_eq!(seq_err, "node 3 failed");
+        for threads in [1, 2, 4, 8, 40] {
+            assert_eq!(
+                run_local_fallible_par_with(&net, threads, algo).unwrap_err(),
+                seq_err,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_override_takes_precedence() {
+        set_thread_override(Some(3));
+        assert_eq!(
+            effective_parallelism(1_000_000),
+            if cfg!(feature = "parallel") { 3 } else { 1 }
+        );
+        set_thread_override(None);
+        assert_eq!(effective_parallelism(4), 1); // below the small-n cutoff
+    }
+
+    #[test]
+    fn empty_network_runs_everywhere() {
+        let net: Network<()> =
+            Network::with_identity_ids(lad_graph::builder::GraphBuilder::new(0).build());
+        let (outs, stats) = run_local_par_with(&net, 4, |ctx| ctx.uid());
+        assert!(outs.is_empty());
+        assert_eq!(stats, RoundStats::zero(0));
     }
 }

@@ -37,7 +37,18 @@
 //! assert_eq!(stats.rounds(), 2);
 //! ```
 
+//! # Execution paths
+//!
+//! [`run_local`] is the sequential reference executor. [`run_local_par`]
+//! (and the `*_cached` variants over a shared [`ViewCache`]) computes the
+//! same outputs and [`RoundStats`] bit for bit — LOCAL algorithms are pure
+//! per-node functions of their views, so scheduling cannot change results,
+//! and `crates/runtime/tests/equivalence.rs` enforces this differentially.
+//! Threading sits behind the `parallel` cargo feature (default-on); see
+//! [`executor::effective_parallelism`] for how worker counts resolve.
+
 pub mod ball;
+pub mod cache;
 pub mod canonical;
 pub mod ctx;
 pub mod executor;
@@ -47,8 +58,14 @@ pub mod messaging;
 pub mod network;
 
 pub use ball::Ball;
+pub use cache::{CacheStats, ViewCache};
 pub use canonical::CanonicalKey;
 pub use ctx::NodeCtx;
-pub use executor::{run_local, run_local_fallible, RoundStats};
+pub use executor::{
+    effective_parallelism, run_local, run_local_cached, run_local_fallible,
+    run_local_fallible_cached, run_local_fallible_par, run_local_fallible_par_cached,
+    run_local_fallible_par_with, run_local_par, run_local_par_cached, run_local_par_with,
+    set_thread_override, RoundStats,
+};
 pub use lookup::LookupTable;
 pub use network::Network;

@@ -13,7 +13,7 @@
 
 use crate::ball::Ball;
 use crate::canonical::{canonicalize, CanonicalKey};
-use crate::executor::run_local;
+use crate::executor::run_local_par;
 use crate::network::Network;
 use std::collections::HashMap;
 use std::fmt;
@@ -85,20 +85,25 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     }
 
     /// Trains a table by running `algo` (restricted to radius-`radius`
-    /// views) on each training network.
+    /// views) on each training network. Observation gathering runs through
+    /// the parallel executor; observations are *recorded* in node order per
+    /// network, so which conflict is reported is deterministic.
     ///
     /// # Errors
     ///
     /// Returns [`NotOrderInvariant`] on any conflicting observation.
-    pub fn train<In: Clone>(
+    pub fn train<In: Clone + Send + Sync>(
         radius: usize,
         training: &[Network<In>],
-        input_tag: impl Fn(&In) -> u64 + Copy,
-        algo: impl Fn(&Ball<In>) -> Out,
-    ) -> Result<Self, NotOrderInvariant> {
+        input_tag: impl Fn(&In) -> u64 + Copy + Sync,
+        algo: impl Fn(&Ball<In>) -> Out + Sync,
+    ) -> Result<Self, NotOrderInvariant>
+    where
+        Out: Send,
+    {
         let mut t = LookupTable::new(radius);
         for net in training {
-            let (pairs, _) = run_local(net, |ctx| {
+            let (pairs, _) = run_local_par(net, |ctx| {
                 let ball = ctx.ball(radius);
                 let key = canonicalize(&ball, input_tag);
                 let out = algo(&ball);
@@ -167,9 +172,12 @@ mod tests {
     fn detects_non_order_invariance() {
         // "Is my uid even?" depends on numerical values, not order.
         let training = nets(50, 10);
-        let res = LookupTable::train(1, &training, |_| 0, |ball: &Ball| {
-            ball.uid(ball.center()) % 2 == 0
-        });
+        let res = LookupTable::train(
+            1,
+            &training,
+            |_| 0,
+            |ball: &Ball| ball.uid(ball.center()) % 2 == 0,
+        );
         assert!(res.is_err());
     }
 
@@ -203,7 +211,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(k - 1, items, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -238,9 +246,15 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     /// Panics if `radius > 3` (the witness count grows factorially).
     pub fn train_exhaustive_deg2(
         radius: usize,
-        algo: impl Fn(&Ball<()>) -> Out + Copy,
-    ) -> Result<Self, NotOrderInvariant> {
-        assert!(radius <= 3, "witness enumeration is factorial in the radius");
+        algo: impl Fn(&Ball<()>) -> Out + Copy + Sync,
+    ) -> Result<Self, NotOrderInvariant>
+    where
+        Out: Send,
+    {
+        assert!(
+            radius <= 3,
+            "witness enumeration is factorial in the radius"
+        );
         let mut witnesses: Vec<lad_graph::Graph> = Vec::new();
         for n in 1..=(2 * radius + 2) {
             if n >= 2 {
@@ -288,8 +302,7 @@ mod exhaustive_tests {
                 generators::disjoint_union(&[generators::cycle(5), generators::path(9)]),
             ] {
                 let n = g.n();
-                let net =
-                    Network::with_ids(g, IdAssignment::random_sparse(n, 10_000, seed));
+                let net = Network::with_ids(g, IdAssignment::random_sparse(n, 10_000, seed));
                 for v in net.graph().nodes() {
                     let ball = Ball::collect(&net, v, 1);
                     let ans = table

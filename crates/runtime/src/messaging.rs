@@ -8,7 +8,6 @@
 
 use crate::network::Network;
 
-
 /// What a node knows before the first round.
 #[derive(Debug, Clone)]
 pub struct LocalInfo<In> {

@@ -59,11 +59,7 @@ impl<In> Network<In> {
     pub fn new(graph: Graph, ids: IdAssignment, inputs: Vec<In>) -> Self {
         assert_eq!(ids.n(), graph.n(), "one uid per node required");
         assert_eq!(inputs.len(), graph.n(), "one input per node required");
-        Network {
-            graph,
-            ids,
-            inputs,
-        }
+        Network { graph, ids, inputs }
     }
 
     /// The underlying graph.
@@ -94,6 +90,15 @@ impl<In> Network<In> {
     /// All inputs indexed by node.
     pub fn inputs(&self) -> &[In] {
         &self.inputs
+    }
+
+    /// An empty [`crate::ViewCache`] sized for this network, for the
+    /// cached executor entry points.
+    pub fn view_cache(&self) -> crate::ViewCache<In>
+    where
+        In: Clone,
+    {
+        crate::ViewCache::for_network(self)
     }
 
     /// A network over the same graph and identifiers with new inputs.

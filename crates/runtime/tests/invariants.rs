@@ -1,0 +1,109 @@
+//! Property-based invariants of [`RoundStats`] and the ball cache.
+//!
+//! * Sequential composition of round statistics is associative and has
+//!   [`RoundStats::zero`] as identity, `rounds()` is the max of the
+//!   per-node radii, and `mean_rounds()` is bracketed by the min and max.
+//! * A cached ball equals a fresh BFS ball at every radius, regardless of
+//!   the order radii are requested in (expansion and prefix paths).
+
+use lad_graph::{generators, NodeId};
+use lad_runtime::{Ball, Network, RoundStats, ViewCache};
+use proptest::prelude::*;
+
+fn arb_stats(n: usize) -> impl Strategy<Value = RoundStats> {
+    proptest::collection::vec(0usize..12, n..=n).prop_map(RoundStats::from_per_node)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_is_associative_with_zero_identity(
+        (a, b, c) in (2usize..30).prop_flat_map(|n| (arb_stats(n), arb_stats(n), arb_stats(n))),
+    ) {
+        let n = a.n();
+        prop_assert_eq!(a.sequential(&RoundStats::zero(n)), a.clone());
+        prop_assert_eq!(RoundStats::zero(n).sequential(&a), a.clone());
+        prop_assert_eq!(
+            a.sequential(&b).sequential(&c),
+            a.sequential(&b.sequential(&c))
+        );
+        // Composition in the model is also commutative (radii add per node).
+        prop_assert_eq!(a.sequential(&b), b.sequential(&a));
+    }
+
+    #[test]
+    fn rounds_is_max_and_mean_is_bracketed(stats in (1usize..40).prop_flat_map(arb_stats)) {
+        let per_node = stats.per_node();
+        let max = per_node.iter().copied().max().unwrap_or(0);
+        let min = per_node.iter().copied().min().unwrap_or(0);
+        prop_assert_eq!(stats.rounds(), max);
+        for (i, &r) in per_node.iter().enumerate() {
+            prop_assert_eq!(stats.rounds_at(NodeId::from_index(i)), r);
+        }
+        let mean = stats.mean_rounds();
+        prop_assert!(mean >= min as f64 - 1e-12, "mean {mean} below min {min}");
+        prop_assert!(mean <= max as f64 + 1e-12, "mean {mean} above max {max}");
+        // Sequential composition adds means exactly (same node count).
+        let doubled = stats.sequential(&stats);
+        prop_assert!((doubled.mean_rounds() - 2.0 * mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_ball_equals_fresh_bfs_at_every_radius(
+        family in 0usize..5,
+        n in 4usize..28,
+        seed in 0u64..500,
+        // Radii requested in arbitrary (possibly repeating, non-monotone)
+        // order at a random center.
+        radii in proptest::collection::vec(0usize..5, 1..8),
+        center_pick in 0usize..1000,
+    ) {
+        let g = match family {
+            0 => generators::path(n.max(2)),
+            1 => generators::cycle(n.max(3)),
+            2 => generators::random_tree(n.max(2), seed),
+            3 => generators::random_bounded_degree(n, 4, 2 * n, seed),
+            _ => {
+                let w = (n as f64).sqrt().ceil() as usize;
+                generators::grid2d(w.max(2), w.max(2), seed % 2 == 0)
+            }
+        };
+        let inputs: Vec<u16> = (0..g.n()).map(|i| (i % 7) as u16).collect();
+        let net = Network::with_identity_ids(g).with_inputs(inputs);
+        let cache = ViewCache::for_network(&net);
+        let center = NodeId::from_index(center_pick % net.graph().n());
+        for &r in &radii {
+            let cached = cache.ball(&net, center, r);
+            let fresh = Ball::collect(&net, center, r);
+            prop_assert_eq!(&*cached, &fresh, "center {:?} radius {}", center, r);
+        }
+        // Every request was served, one miss at most.
+        let stats = cache.stats();
+        prop_assert_eq!(stats.requests(), radii.len() as u64);
+        prop_assert!(stats.misses <= 1);
+    }
+
+    #[test]
+    fn cache_consistent_across_all_nodes_after_mixed_traffic(
+        n in 3usize..20,
+        seed in 0u64..200,
+    ) {
+        // Hammer one cache with every (node, radius) pair twice, in two
+        // different orders, then verify everything against fresh BFS.
+        let g = generators::random_bounded_degree(n, 3, 2 * n, seed);
+        let net = Network::with_identity_ids(g);
+        let cache = ViewCache::for_network(&net);
+        for v in net.graph().nodes() {
+            for r in (0..4).rev() {
+                cache.ball(&net, v, r);
+            }
+        }
+        for r in 0..4 {
+            for v in net.graph().nodes() {
+                let cached = cache.ball(&net, v, r);
+                prop_assert_eq!(&*cached, &Ball::collect(&net, v, r));
+            }
+        }
+    }
+}

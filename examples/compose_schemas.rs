@@ -7,8 +7,8 @@
 //! ```
 
 use local_advice::core::balanced::BalancedOrientationSchema;
-use local_advice::core::compose::{Composed, Paired, ParityOracleSchema, SplitFromParts};
 use local_advice::core::composable;
+use local_advice::core::compose::{Composed, Paired, ParityOracleSchema, SplitFromParts};
 use local_advice::core::schema::AdviceSchema;
 use local_advice::core::splitting::is_valid_splitting;
 use local_advice::graph::generators;

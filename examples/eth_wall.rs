@@ -23,9 +23,8 @@ fn main() {
         let net = Network::with_identity_ids(generators::cycle(n));
         let lcl = ProperColoring::new(2);
         let start = Instant::now();
-        let direct =
-            brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, false, 1 << 34)
-                .expect("budget");
+        let direct = brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, false, 1 << 34)
+            .expect("budget");
         let elapsed = start.elapsed();
         let memo = brute_force_advice_search(&net, &lcl, 1, 0, advice_is_label, true, 1 << 34)
             .expect("budget");

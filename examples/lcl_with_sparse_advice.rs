@@ -16,7 +16,10 @@ use local_advice::runtime::Network;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = Network::with_identity_ids(generators::cycle(600));
     let lcl = ProperColoring::new(3);
-    println!("LCL: {} on a 600-cycle (linear growth ⊂ sub-exponential)", lcl_name(&lcl));
+    println!(
+        "LCL: {} on a 600-cycle (linear growth ⊂ sub-exponential)",
+        lcl_name(&lcl)
+    );
     println!();
     println!("spacing | ones ratio | decode rounds | valid");
     println!("--------|------------|---------------|------");

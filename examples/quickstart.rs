@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The LOCAL decoder reconstructs the orientation in O(1) rounds.
     let (orientation, stats) = schema.decode(&net, &advice)?;
     assert!(orientation.is_almost_balanced(net.graph()));
-    println!("decoded an almost-balanced orientation in {} rounds", stats.rounds());
+    println!(
+        "decoded an almost-balanced orientation in {} rounds",
+        stats.rounds()
+    );
 
     // Without advice, the same task needs Ω(n) rounds.
     let (baseline, no_advice_stats) = no_advice::balanced_orientation_no_advice(&net);

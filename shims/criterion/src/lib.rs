@@ -1,0 +1,327 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset used by this workspace's benches: [`Criterion`],
+//! benchmark groups with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Results (mean/min/max wall-clock per iteration) are printed to stdout and
+//! appended as JSON lines to `target/criterion-summary.json` so CI can
+//! archive them. No statistical analysis or HTML reports.
+
+use std::io::Write as _;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement back-ends (wall-clock only).
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// One finished benchmark's summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    /// Full benchmark id, `group/name[/param]`.
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Benchmark driver; collects summaries and writes them out on drop.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchSummary>,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks sharing timing settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            _measurement: PhantomData,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let _ = std::fs::create_dir_all("target");
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("target/criterion-summary.json")
+        {
+            for r in &self.results {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\":\"{}\",\"mean_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\"iters_per_sample\":{},\"samples\":{}}}",
+                    r.id.replace('"', "'"),
+                    r.mean_s,
+                    r.min_s,
+                    r.max_s,
+                    r.iters_per_sample,
+                    r.samples
+                );
+            }
+        }
+    }
+}
+
+/// A benchmark name, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs the timed inner loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let summary = run_bench(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self.criterion.results.push(summary);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let summary = run_bench(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self.criterion.results.push(summary);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut call: impl FnMut(&mut Bencher),
+) -> BenchSummary {
+    // Warm-up: single-iteration calls until the budget is spent; the last
+    // call's timing estimates seconds per iteration.
+    let warm_start = Instant::now();
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    call(&mut b);
+    let mut est = b.elapsed.max(Duration::from_nanos(1));
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        call(&mut b);
+        est = b.elapsed.max(Duration::from_nanos(1));
+    }
+    let per_sample = measurement.as_secs_f64() / sample_size as f64;
+    let iters = (per_sample / est.as_secs_f64()).clamp(1.0, 1e9) as u64;
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        call(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<50} time: [{} {} {}]  ({iters} iters x {sample_size} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    BenchSummary {
+        id: id.to_string(),
+        mean_s: mean,
+        min_s: min,
+        max_s: max,
+        iters_per_sample: iters,
+        samples: sample_size,
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.warm_up_time(Duration::from_millis(1));
+            g.measurement_time(Duration::from_millis(5));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.mean_s >= 0.0));
+        c.results.clear(); // avoid writing a summary file from unit tests
+    }
+}

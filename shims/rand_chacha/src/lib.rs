@@ -1,0 +1,155 @@
+//! Offline shim for the `rand_chacha` crate: a genuine 8-round ChaCha
+//! stream RNG. Deterministic per seed; **not** bit-compatible with the
+//! upstream crate's stream (this workspace only relies on determinism).
+//!
+//! See `shims/README.md` for scope and caveats.
+
+pub mod rand_core {
+    //! Re-exports mirroring `rand_chacha`'s `rand_core` facade.
+
+    pub use rand::RngCore;
+
+    /// Deterministic construction from seeds.
+    pub trait SeedableRng: Sized {
+        /// A generator whose stream is a pure function of `state`.
+        fn seed_from_u64(state: u64) -> Self;
+    }
+}
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// An 8-round ChaCha keystream generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (8 words), counter (2 words), nonce (2 words).
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means "refill".
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal).
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (o, s) in w.iter_mut().zip(self.state.iter()) {
+            *o = o.wrapping_add(*s);
+        }
+        self.block = w;
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 key expansion, as `rand`'s generic seed_from_u64 does.
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [0u32; 16];
+        // "expand 32-byte k" constants.
+        s[0] = 0x6170_7865;
+        s[1] = 0x3320_646e;
+        s[2] = 0x7962_2d32;
+        s[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let k = next();
+            s[4 + 2 * i] = k as u32;
+            s[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state: s,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl rand::RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor >= 15 {
+            self.refill();
+        }
+        let lo = self.block[self.cursor] as u64;
+        let hi = self.block[self.cursor + 1] as u64;
+        self.cursor += 2;
+        (hi << 32) | lo
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_looks_balanced() {
+        // Cheap sanity check: bit frequency of the keystream is near 1/2.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 1024 * 64;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&ratio), "bit ratio {ratio}");
+    }
+}

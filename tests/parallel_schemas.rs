@@ -1,0 +1,143 @@
+//! Schema-level parallel equivalence: every advice schema's decoder runs
+//! through the parallel executor, so its decoded output and round
+//! statistics must be **identical** under any worker-thread count.
+//!
+//! The runtime-level differential harness
+//! (`crates/runtime/tests/equivalence.rs`) proves the executors equivalent
+//! on arbitrary algorithms; these tests close the loop at the public API:
+//! encode once, decode under thread overrides {1, 2, 5, auto}, and compare
+//! outputs and stats bitwise.
+//!
+//! `set_thread_override` is process-global, so every test serializes on one
+//! mutex.
+
+use std::fmt::Debug;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use local_advice::core::balanced::BalancedOrientationSchema;
+use local_advice::core::cluster_coloring::ClusterColoringSchema;
+use local_advice::core::decompress::EdgeSubsetCodec;
+use local_advice::core::delta_coloring::DeltaColoringSchema;
+use local_advice::core::lcl_subexp::LclSubexpSchema;
+use local_advice::core::onebit::OneBitSchema;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::core::splitting::{EdgeColoringSchema, SplittingSchema};
+use local_advice::core::three_coloring::ThreeColoringSchema;
+use local_advice::graph::{generators, IdAssignment};
+use local_advice::lcl::problems::ProperColoring;
+use local_advice::runtime::{set_thread_override, Network, RoundStats};
+
+/// Serializes tests that mutate the process-global thread override.
+fn override_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn sparse_ids(g: local_advice::graph::Graph, seed: u64) -> Network {
+    let n = g.n();
+    let space = (n as u64).pow(2).max(16);
+    Network::with_ids(g, IdAssignment::random_sparse(n, space, seed))
+}
+
+/// Decodes `schema` on `net` under each thread override and asserts the
+/// results are bitwise identical. The caller must hold [`override_lock`].
+fn assert_decode_thread_invariant<S>(schema: &S, net: &Network)
+where
+    S: AdviceSchema,
+    S::Output: PartialEq + Debug,
+{
+    let advice = schema
+        .encode(net)
+        .unwrap_or_else(|e| panic!("{}: encode failed: {e}", schema.name()));
+    let mut reference: Option<(S::Output, RoundStats)> = None;
+    for threads in [Some(1), Some(2), Some(5), None] {
+        set_thread_override(threads);
+        let got = schema.decode(net, &advice).unwrap_or_else(|e| {
+            panic!(
+                "{}: decode failed ({threads:?} threads): {e}",
+                schema.name()
+            )
+        });
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(
+                &got,
+                want,
+                "{}: decode differs with thread override {threads:?}",
+                schema.name()
+            ),
+        }
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn balanced_orientation_decode_is_thread_invariant() {
+    let _guard = override_lock();
+    let schema = BalancedOrientationSchema::default();
+    for (i, g) in [
+        generators::cycle(150),
+        generators::grid2d(9, 9, true),
+        generators::random_bounded_degree(120, 6, 260, 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        assert_decode_thread_invariant(&schema, &sparse_ids(g, 300 + i as u64));
+    }
+}
+
+#[test]
+fn one_bit_decode_is_thread_invariant() {
+    let _guard = override_lock();
+    let schema = OneBitSchema::new(BalancedOrientationSchema::new(16, 90), 2);
+    assert_decode_thread_invariant(&schema, &sparse_ids(generators::cycle(360), 5));
+}
+
+#[test]
+fn coloring_decoders_are_thread_invariant() {
+    let _guard = override_lock();
+    let (g, _) = generators::random_tripartite([30, 30, 30], 5, 170, 12);
+    let net = sparse_ids(g, 8);
+    assert_decode_thread_invariant(&ClusterColoringSchema::default(), &net);
+    assert_decode_thread_invariant(&DeltaColoringSchema::default(), &net);
+    assert_decode_thread_invariant(&ThreeColoringSchema::default(), &net);
+}
+
+#[test]
+fn splitting_and_edge_coloring_decoders_are_thread_invariant() {
+    let _guard = override_lock();
+    let net = sparse_ids(generators::random_bipartite_regular(20, 4, 31), 10);
+    assert_decode_thread_invariant(&SplittingSchema::default(), &net);
+    assert_decode_thread_invariant(&EdgeColoringSchema::default(), &net);
+}
+
+#[test]
+fn lcl_subexp_decode_is_thread_invariant() {
+    let _guard = override_lock();
+    let lcl = ProperColoring::new(3);
+    let schema = LclSubexpSchema::new(&lcl, 25, 50_000_000);
+    assert_decode_thread_invariant(&schema, &sparse_ids(generators::cycle(200), 77));
+}
+
+#[test]
+fn decompression_round_trip_is_thread_invariant() {
+    let _guard = override_lock();
+    let g = generators::random_bounded_degree(150, 7, 350, 9);
+    let m = g.m();
+    let net = sparse_ids(g, 6);
+    let subset: Vec<bool> = (0..m).map(|i| i % 5 < 2).collect();
+    let codec = EdgeSubsetCodec::default();
+    let mut reference = None;
+    for threads in [Some(1), Some(3), None] {
+        set_thread_override(threads);
+        let got = codec.round_trip(&net, &subset).expect("round trip");
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "thread override {threads:?}"),
+        }
+    }
+    set_thread_override(None);
+}

@@ -88,7 +88,11 @@ fn coloring_pipeline_stacks() {
     let cluster = ClusterColoringSchema::default();
     let advice = cluster.encode(&net).unwrap();
     let (chi1, _) = cluster.decode(&net, &advice).unwrap();
-    assert!(coloring::is_proper_k_coloring(net.graph(), &chi1, delta + 1));
+    assert!(coloring::is_proper_k_coloring(
+        net.graph(),
+        &chi1,
+        delta + 1
+    ));
 
     let full = DeltaColoringSchema::default();
     let advice = full.encode(&net).unwrap();
@@ -156,8 +160,16 @@ fn identifier_assignment_changes_advice_but_not_validity() {
     let advice_a = schema.encode(&net_a).unwrap();
     let advice_b = schema.encode(&net_b).unwrap();
     assert_ne!(advice_a, advice_b, "advice should depend on identifiers");
-    assert!(schema.decode(&net_a, &advice_a).unwrap().0.is_almost_balanced(net_a.graph()));
-    assert!(schema.decode(&net_b, &advice_b).unwrap().0.is_almost_balanced(net_b.graph()));
+    assert!(schema
+        .decode(&net_a, &advice_a)
+        .unwrap()
+        .0
+        .is_almost_balanced(net_a.graph()));
+    assert!(schema
+        .decode(&net_b, &advice_b)
+        .unwrap()
+        .0
+        .is_almost_balanced(net_b.graph()));
     // Swapping the advice across assignments must NOT decode silently into
     // a wrong orientation: either an error, or (by luck) still balanced.
     if let Ok((o, _)) = schema.decode(&net_a, &advice_b) {
@@ -181,10 +193,7 @@ fn three_coloring_on_disconnected_graph() {
 
 #[test]
 fn delta_coloring_on_disconnected_graph() {
-    let g = generators::disjoint_union(&[
-        generators::grid2d(5, 5, false),
-        generators::cycle(24),
-    ]);
+    let g = generators::disjoint_union(&[generators::grid2d(5, 5, false), generators::cycle(24)]);
     let delta = g.max_degree();
     let net = sparse_ids(g, 22);
     let schema = DeltaColoringSchema::default();
