@@ -1,0 +1,50 @@
+//! Cost of fault tolerance: plain gather vs robust gather vs robust
+//! gather under an active fault plan.
+//!
+//! Quantifies what the pluggable-transport refactor costs on the happy
+//! path (robust gather over [`PerfectLink`] — validation and flooding
+//! bookkeeping, no faults) and what a 10%-drop plan adds on top (extra
+//! healing rounds plus the per-send fate hashing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lad_graph::generators;
+use lad_runtime::{run_gathered, run_gathered_robust, FaultPlan, Network, PerfectLink};
+use std::hint::black_box;
+
+fn bench_gathers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let radius = 2usize;
+    for n in [400usize, 1_600] {
+        let side = (n as f64).sqrt().round() as usize;
+        let net = Network::with_identity_ids(generators::grid2d(side, side, true));
+        let budget = radius + 20;
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| run_gathered(black_box(&net), radius, |ball| ball.n()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("robust-perfect", n), &n, |b, _| {
+            b.iter(|| {
+                run_gathered_robust(black_box(&net), radius, budget, &mut PerfectLink, |ball| {
+                    ball.n()
+                })
+                .unwrap()
+            })
+        });
+        let plan = FaultPlan::new(7).drop_rate(0.10);
+        group.bench_with_input(BenchmarkId::new("robust-drop10", n), &n, |b, _| {
+            b.iter(|| {
+                let mut transport = plan.start();
+                run_gathered_robust(black_box(&net), radius, budget, &mut transport, |ball| {
+                    ball.n()
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gathers);
+criterion_main!(benches);

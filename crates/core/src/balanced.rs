@@ -100,6 +100,102 @@ impl BalancedOrientationSchema {
     pub fn decode_radius(&self) -> usize {
         self.walk_budget() + 1
     }
+
+    /// Decodes the orientation of every edge incident to the center of
+    /// `ball` (which must have radius [`Self::decode_radius`]), as
+    /// directed identifier pairs `(from uid, to uid)`.
+    ///
+    /// This is the per-node half of [`AdviceSchema::decode`], exposed so
+    /// that views assembled over a faulty transport (see [`crate::checked`])
+    /// can be decoded too: such balls carry no global edge ids, so claims
+    /// are keyed by the identifiers the view itself vouches for, and
+    /// [`aggregate_claims`] cross-checks them against the real graph.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed or insufficient advice in the view, exactly like
+    /// the full decoder.
+    pub fn decode_view(
+        &self,
+        ball: &lad_runtime::Ball<BitString>,
+    ) -> Result<Vec<(u64, u64)>, DecodeError> {
+        let per_edge = decode_at_node(ball, self.walk_budget())?;
+        let g = ball.graph();
+        let uids = ball.uids();
+        let c = ball.center();
+        Ok(per_edge
+            .into_iter()
+            .map(|(e, out_of_center)| {
+                let u = g.other_endpoint(e, c);
+                if out_of_center {
+                    (uids[c.index()], uids[u.index()])
+                } else {
+                    (uids[u.index()], uids[c.index()])
+                }
+            })
+            .collect())
+    }
+}
+
+/// Cross-checks per-node directed claims `(from uid, to uid)` — one list
+/// per node, in node order — and materializes the global [`Orientation`].
+///
+/// # Errors
+///
+/// [`DecodeError::Inconsistent`] when a claim names an unknown node or a
+/// non-edge, when the two endpoints of an edge claim opposite directions,
+/// or when some edge was never claimed at all.
+pub fn aggregate_claims(
+    net: &Network,
+    claims: &[Vec<(u64, u64)>],
+) -> Result<Orientation, DecodeError> {
+    let g = net.graph();
+    let node_of: std::collections::HashMap<u64, NodeId> =
+        g.nodes().map(|v| (net.uid(v), v)).collect();
+    let mut decided: Vec<Option<bool>> = vec![None; g.m()];
+    for (v, list) in g.nodes().zip(claims) {
+        for &(from, to) in list {
+            let (a, b) = match (node_of.get(&from), node_of.get(&to)) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "node {} claims an orientation involving an unknown identifier \
+                         ({from} -> {to})",
+                        net.uid(v)
+                    )))
+                }
+            };
+            let e = g.edge_between(a, b).ok_or_else(|| {
+                DecodeError::Inconsistent(format!(
+                    "node {} orients {from} -> {to}, which is not an edge",
+                    net.uid(v)
+                ))
+            })?;
+            let (_lo, hi) = g.endpoints(e);
+            let toward_higher = b == hi;
+            match decided[e.index()] {
+                None => decided[e.index()] = Some(toward_higher),
+                Some(prev) if prev == toward_higher => {}
+                Some(_) => {
+                    return Err(DecodeError::Inconsistent(format!(
+                        "endpoints of {e:?} disagree on its orientation"
+                    )))
+                }
+            }
+        }
+    }
+    let mut orientation = Orientation::new(g.m());
+    for (e, d) in g.edge_ids().zip(decided) {
+        let toward_higher =
+            d.ok_or_else(|| DecodeError::Inconsistent(format!("edge {e:?} was never oriented")))?;
+        let (lo, hi) = g.endpoints(e);
+        if toward_higher {
+            orientation.set(g, e, lo, hi);
+        } else {
+            orientation.set(g, e, hi, lo);
+        }
+    }
+    Ok(orientation)
 }
 
 // ---------------------------------------------------------------------------
@@ -331,42 +427,12 @@ impl AdviceSchema for BalancedOrientationSchema {
             ));
         }
         let advised = net.with_inputs(advice.strings().to_vec());
-        let budget = self.walk_budget();
         let radius = self.decode_radius();
-        let (claims, stats) = run_local_fallible_par(&advised, |ctx| {
-            let ball = ctx.ball(radius);
-            decode_at_node(&ball, budget)
-        })?;
-        // Assemble and cross-check the per-node claims.
-        let g = net.graph();
-        let mut decided: Vec<Option<bool>> = vec![None; g.m()];
-        for (v, list) in g.nodes().zip(&claims) {
-            for &(e, out_of_v) in list {
-                let (lo, _hi) = g.endpoints(e);
-                let toward_higher = if v == lo { out_of_v } else { !out_of_v };
-                match decided[e.index()] {
-                    None => decided[e.index()] = Some(toward_higher),
-                    Some(prev) if prev == toward_higher => {}
-                    Some(_) => {
-                        return Err(DecodeError::Inconsistent(format!(
-                            "endpoints of {e:?} disagree on its orientation"
-                        )))
-                    }
-                }
-            }
-        }
-        let mut orientation = Orientation::new(g.m());
-        for (e, d) in g.edge_ids().zip(decided) {
-            let toward_higher = d.ok_or_else(|| {
-                DecodeError::Inconsistent(format!("edge {e:?} was never oriented"))
-            })?;
-            let (lo, hi) = g.endpoints(e);
-            if toward_higher {
-                orientation.set(g, e, lo, hi);
-            } else {
-                orientation.set(g, e, hi, lo);
-            }
-        }
+        let (claims, stats) =
+            run_local_fallible_par(&advised, |ctx| self.decode_view(&ctx.ball(radius)))?;
+        // Cross-check and materialize — the same aggregation the gathered
+        // fault-tolerant path uses.
+        let orientation = aggregate_claims(net, &claims)?;
         Ok((orientation, stats))
     }
 }
@@ -470,7 +536,8 @@ fn walk(
 }
 
 /// Decodes the orientation of every edge incident to the center of `ball`.
-/// Returns `(global edge id, oriented out of the center?)` pairs.
+/// Returns `(ball-local edge id, oriented out of the center?)` pairs;
+/// [`BalancedOrientationSchema::decode_view`] converts them to uid pairs.
 fn decode_at_node(
     ball: &lad_runtime::Ball<BitString>,
     budget: usize,
@@ -490,15 +557,15 @@ fn decode_at_node(
         // "Forward at this slot" = the trail enters via p and exits via q.
         let forward = decide_slot(ball, budget, c, s, p, q)?;
         // If forward: p is incoming to the center, q outgoing.
-        out.push((ball.global_edge(p), !forward));
-        out.push((ball.global_edge(q), forward));
+        out.push((p, !forward));
+        out.push((q, forward));
     }
     // Unpaired edge (odd degree): the center is a trail endpoint.
     if g.degree(c) % 2 == 1 {
         let e = *order.last().expect("odd degree implies an edge");
         let along_walk = decide_from_endpoint(ball, budget, c, e)?;
         // `along_walk` = orientation points away from the center.
-        out.push((ball.global_edge(e), along_walk));
+        out.push((e, along_walk));
     }
     Ok(out)
 }

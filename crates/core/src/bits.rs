@@ -130,6 +130,32 @@ impl BitString {
     }
 }
 
+impl lad_runtime::Corruptible for BitString {
+    /// In-transit tampering for the fault harness: flip one bit, drop the
+    /// last bit, append a bit, or erase the string — the same mutation
+    /// menu `tests/tamper.rs` applies to advice at rest. Every mutation
+    /// changes the string (decoders must be able to notice).
+    fn corrupt(&mut self, entropy: u64) {
+        if self.bits.is_empty() {
+            // The only plausible lie about an empty string is that it
+            // was not empty.
+            self.bits.push(entropy & 1 == 1);
+            return;
+        }
+        match entropy % 4 {
+            0 => {
+                let i = ((entropy >> 2) % self.bits.len() as u64) as usize;
+                self.bits[i] = !self.bits[i];
+            }
+            1 => {
+                self.bits.pop();
+            }
+            2 => self.bits.push(entropy & 1 == 1),
+            _ => self.bits.clear(),
+        }
+    }
+}
+
 impl fmt::Debug for BitString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitString(\"{self}\")")

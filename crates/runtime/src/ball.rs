@@ -244,7 +244,7 @@ impl<In: Clone> Ball<In> {
     /// Work and memory are proportional to the *ball*, not the graph, so
     /// running a constant-radius decoder at every node of a large network
     /// stays near-linear overall. (The executor hot paths use a reusable
-    /// [`Scratch`] instead of this per-call `HashMap`; both produce
+    /// `Scratch` instead of this per-call `HashMap`; both produce
     /// identical balls.)
     pub fn collect(net: &Network<In>, center: NodeId, radius: usize) -> Self {
         let g = net.graph();

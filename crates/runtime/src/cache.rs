@@ -223,6 +223,110 @@ mod tests {
     }
 
     #[test]
+    fn counters_classify_every_request_shape() {
+        let net = Network::with_identity_ids(generators::cycle(16));
+        let cache = ViewCache::for_network(&net);
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        // First-ever request for a node: a miss, whatever the radius.
+        cache.ball(&net, NodeId(0), 3);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                expansions: 0
+            }
+        );
+
+        // Smaller radius at the same node: prefix of the membership —
+        // an expansion, not a miss (no BFS restart) and not a hit (a new
+        // ball is still materialized).
+        cache.ball(&net, NodeId(0), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                expansions: 1
+            }
+        );
+
+        // Larger radius at the same node: BFS continues from the stored
+        // frontier — also an expansion.
+        cache.ball(&net, NodeId(0), 5);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                expansions: 2
+            }
+        );
+
+        // Exact repeats of any materialized radius: hits.
+        cache.ball(&net, NodeId(0), 3);
+        cache.ball(&net, NodeId(0), 1);
+        cache.ball(&net, NodeId(0), 5);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                expansions: 2
+            }
+        );
+
+        // A different node has its own slot: a fresh miss.
+        cache.ball(&net, NodeId(9), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.requests(), 7);
+    }
+
+    #[test]
+    fn counters_count_requests_not_work() {
+        // An adaptive-decoder-style radius sweep at one node: exactly one
+        // miss, every later radius an expansion, every repeat a hit.
+        let net = Network::with_identity_ids(generators::grid2d(6, 6, false));
+        let cache = ViewCache::for_network(&net);
+        for r in 0..=4 {
+            cache.ball(&net, NodeId(14), r);
+        }
+        for r in 0..=4 {
+            cache.ball(&net, NodeId(14), r);
+        }
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 5,
+                misses: 1,
+                expansions: 4
+            }
+        );
+        assert_eq!(cache.stats().requests(), 10);
+    }
+
+    #[test]
+    fn clear_resets_contents_so_misses_recur() {
+        let net = Network::with_identity_ids(generators::cycle(8));
+        let cache = ViewCache::for_network(&net);
+        cache.ball(&net, NodeId(3), 2);
+        cache.ball(&net, NodeId(3), 2);
+        cache.clear();
+        cache.ball(&net, NodeId(3), 2);
+        // Counters survive clear(); only the cached contents are dropped.
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                expansions: 0
+            }
+        );
+    }
+
+    #[test]
     fn clear_empties_but_keeps_counting() {
         let net = Network::with_identity_ids(generators::path(6));
         let cache = ViewCache::for_network(&net);

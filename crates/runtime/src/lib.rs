@@ -47,6 +47,17 @@
 //! Threading sits behind the `parallel` cargo feature (default-on); see
 //! [`executor::effective_parallelism`] for how worker counts resolve.
 
+//! # Fault injection
+//!
+//! Message delivery is pluggable ([`transport`]): [`run_rounds`] fixes it
+//! to [`PerfectLink`] (the classical model), while [`run_rounds_on`] and
+//! [`run_gathered_robust`] accept any [`Transport`] — in particular a
+//! seeded [`FaultPlan`], which deterministically drops, duplicates,
+//! delays, and corrupts messages and crash-stops nodes, tallying every
+//! injected fault in [`FaultStats`]. Robust gathering validates what it
+//! heard and degrades to a typed [`GatherError`] rather than ever
+//! assembling a silently wrong view.
+
 pub mod ball;
 pub mod cache;
 pub mod canonical;
@@ -56,6 +67,7 @@ pub mod gather;
 pub mod lookup;
 pub mod messaging;
 pub mod network;
+pub mod transport;
 
 pub use ball::Ball;
 pub use cache::{CacheStats, ViewCache};
@@ -67,5 +79,13 @@ pub use executor::{
     run_local_fallible_par_with, run_local_par, run_local_par_cached, run_local_par_with,
     set_thread_override, RoundStats,
 };
+pub use gather::{run_gathered, run_gathered_robust, GatherError, GatherReport, NodeRecord};
 pub use lookup::LookupTable;
+pub use messaging::{
+    run_rounds, run_rounds_on, LocalInfo, LossyRoundAlgorithm, RoundAlgorithm, RoundLimitExceeded,
+    RoundOutcome, Strict,
+};
 pub use network::Network;
+pub use transport::{
+    CopyFate, Corruptible, Fate, FaultPlan, FaultRun, FaultStats, PerfectLink, Transport,
+};

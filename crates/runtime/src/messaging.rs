@@ -5,8 +5,19 @@
 //! this round-by-round simulator instead. Messages are exchanged along
 //! *ports*: node `v`'s port `i` leads to its `i`-th neighbor in sorted
 //! index order, matching [`lad_graph::Graph::port`].
+//!
+//! Delivery is pluggable: every message crosses a [`Transport`]
+//! ([`crate::transport`]). [`run_rounds`] fixes the transport to
+//! [`PerfectLink`] and the classical exactly-one-message-per-port contract;
+//! [`run_rounds_on`] exposes the general form, where an adversarial
+//! transport may drop, duplicate, delay, or corrupt messages and
+//! crash-stop nodes — algorithms written against
+//! [`LossyRoundAlgorithm`] receive *zero or more* messages per port and
+//! must cope.
 
 use crate::network::Network;
+use crate::transport::{FaultStats, PerfectLink, Transport};
+use lad_graph::NodeId;
 
 /// What a node knows before the first round.
 #[derive(Debug, Clone)]
@@ -48,6 +59,179 @@ pub trait RoundAlgorithm<In> {
     fn output(&self, state: &Self::State) -> Option<Self::Out>;
 }
 
+/// A synchronous round algorithm that tolerates imperfect delivery.
+///
+/// Unlike [`RoundAlgorithm`], whose receivers are handed exactly one
+/// message per port, a lossy algorithm's inbox holds *zero or more*
+/// messages per port — what an adversarial [`Transport`] actually
+/// delivered this round (drops leave a port empty, duplicates and delayed
+/// copies stack up). Halting and sending rules are unchanged: a node halts
+/// by returning `Some` from `output`, and halted nodes keep sending their
+/// final-state messages.
+pub trait LossyRoundAlgorithm<In> {
+    /// Per-node mutable state.
+    type State;
+    /// Message type (unbounded size, as the LOCAL model allows).
+    type Msg: Clone;
+    /// Final output type.
+    type Out;
+
+    /// Initial state.
+    fn init(&self, info: &LocalInfo<In>) -> Self::State;
+    /// The message to send on each port this round (length = degree).
+    fn send(&self, state: &Self::State, info: &LocalInfo<In>) -> Vec<Self::Msg>;
+    /// Consumes this round's arrivals; `inbox[i]` holds whatever the
+    /// transport delivered on port `i` (possibly nothing, possibly
+    /// several messages).
+    fn receive(&self, state: &mut Self::State, info: &LocalInfo<In>, inbox: Vec<Vec<Self::Msg>>);
+    /// `Some(out)` once the node has terminated.
+    fn output(&self, state: &Self::State) -> Option<Self::Out>;
+}
+
+/// Adapts a [`RoundAlgorithm`] to the lossy interface by *asserting* the
+/// classical delivery contract: exactly one message per port per round.
+///
+/// Use only with transports that guarantee it (i.e. [`PerfectLink`]);
+/// under a faulty transport the assertion is the loud failure that keeps a
+/// perfect-delivery algorithm from silently misreading a lossy inbox.
+pub struct Strict<'a, A>(pub &'a A);
+
+impl<In, A: RoundAlgorithm<In>> LossyRoundAlgorithm<In> for Strict<'_, A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Out = A::Out;
+
+    fn init(&self, info: &LocalInfo<In>) -> A::State {
+        self.0.init(info)
+    }
+
+    fn send(&self, state: &A::State, info: &LocalInfo<In>) -> Vec<A::Msg> {
+        self.0.send(state, info)
+    }
+
+    fn receive(&self, state: &mut A::State, info: &LocalInfo<In>, inbox: Vec<Vec<A::Msg>>) {
+        let flat: Vec<A::Msg> = inbox
+            .into_iter()
+            .map(|mut port| {
+                assert_eq!(
+                    port.len(),
+                    1,
+                    "Strict algorithm requires exactly one message per port"
+                );
+                port.pop().expect("length checked above")
+            })
+            .collect();
+        self.0.receive(state, info, &flat);
+    }
+
+    fn output(&self, state: &A::State) -> Option<A::Out> {
+        self.0.output(state)
+    }
+}
+
+/// What came out of running a round algorithm over a (possibly faulty)
+/// transport.
+///
+/// This is not a `Result`: under faults, "some nodes never terminated" is
+/// an expected outcome the caller inspects, not an exception. `outputs[v]`
+/// is `None` exactly when `v` crashed before terminating or ran out of
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome<Out> {
+    /// Per-node outputs; `None` = did not terminate (crashed or starved).
+    pub outputs: Vec<Option<Out>>,
+    /// Rounds executed: the round in which the last node terminated, or
+    /// the full budget if some node never did.
+    pub rounds: usize,
+    /// The transport's fault counters at the end of the run.
+    pub faults: FaultStats,
+    /// Nodes that had crash-stopped by the final round.
+    pub crashed: Vec<NodeId>,
+}
+
+/// Runs a lossy round algorithm over an explicit transport.
+///
+/// Each round: every node's `send` is collected synchronously (halted and
+/// crashed nodes included — the transport, not the algorithm, models
+/// crash silence), the transport routes the outboxes, and every
+/// non-halted non-crashed node consumes its inbox. The run ends when all
+/// nodes have either terminated or crashed, or after `max_rounds`.
+pub fn run_rounds_on<In: Clone, A: LossyRoundAlgorithm<In>>(
+    net: &Network<In>,
+    algo: &A,
+    max_rounds: usize,
+    transport: &mut impl Transport<A::Msg>,
+) -> RoundOutcome<A::Out> {
+    let g = net.graph();
+    let n = g.n();
+    let infos: Vec<LocalInfo<In>> = g
+        .nodes()
+        .map(|v| LocalInfo {
+            uid: net.uid(v),
+            degree: g.degree(v),
+            n,
+            max_degree: g.max_degree(),
+            input: net.input(v).clone(),
+        })
+        .collect();
+    let mut states: Vec<A::State> = infos.iter().map(|i| algo.init(i)).collect();
+    let mut outs: Vec<Option<A::Out>> = (0..n).map(|_| None).collect();
+    for v in g.nodes() {
+        if !transport.is_crashed(v, 0) {
+            outs[v.index()] = algo.output(&states[v.index()]);
+        }
+    }
+    fn settled<Out, Msg: Clone, T: Transport<Msg>>(
+        outs: &[Option<Out>],
+        transport: &T,
+        round: usize,
+    ) -> bool {
+        outs.iter()
+            .enumerate()
+            .all(|(i, o)| o.is_some() || transport.is_crashed(NodeId::from_index(i), round))
+    }
+    let mut rounds = 0;
+    if !settled(&outs, transport, 0) {
+        for round in 1..=max_rounds {
+            rounds = round;
+            // Collect all outboxes first (synchronous semantics).
+            let outboxes: Vec<Vec<A::Msg>> = g
+                .nodes()
+                .map(|v| {
+                    let msgs = algo.send(&states[v.index()], &infos[v.index()]);
+                    assert_eq!(
+                        msgs.len(),
+                        g.degree(v),
+                        "send() must produce one message per port"
+                    );
+                    msgs
+                })
+                .collect();
+            let mut inboxes = transport.exchange(g, round, &outboxes);
+            for v in g.nodes() {
+                if outs[v.index()].is_none() && !transport.is_crashed(v, round) {
+                    let inbox = std::mem::take(&mut inboxes[v.index()]);
+                    algo.receive(&mut states[v.index()], &infos[v.index()], inbox);
+                    outs[v.index()] = algo.output(&states[v.index()]);
+                }
+            }
+            if settled(&outs, transport, round) {
+                break;
+            }
+        }
+    }
+    let crashed: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| transport.is_crashed(v, rounds))
+        .collect();
+    RoundOutcome {
+        outputs: outs,
+        rounds,
+        faults: transport.fault_stats(),
+        crashed,
+    }
+}
+
 /// The simulator failed to converge within the round budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundLimitExceeded {
@@ -70,7 +254,8 @@ impl std::error::Error for RoundLimitExceeded {}
 /// Runs a round algorithm until every node outputs, or the budget runs out.
 ///
 /// Returns the outputs and the number of rounds executed (the round in
-/// which the last node terminated).
+/// which the last node terminated). Delivery is a [`PerfectLink`]: exactly
+/// one message per port per round, unmodified — the classical LOCAL model.
 ///
 /// # Errors
 ///
@@ -80,63 +265,13 @@ pub fn run_rounds<In: Clone, A: RoundAlgorithm<In>>(
     algo: &A,
     max_rounds: usize,
 ) -> Result<(Vec<A::Out>, usize), RoundLimitExceeded> {
-    let g = net.graph();
-    let n = g.n();
-    let infos: Vec<LocalInfo<In>> = g
-        .nodes()
-        .map(|v| LocalInfo {
-            uid: net.uid(v),
-            degree: g.degree(v),
-            n,
-            max_degree: g.max_degree(),
-            input: net.input(v).clone(),
-        })
-        .collect();
-    let mut states: Vec<A::State> = infos.iter().map(|i| algo.init(i)).collect();
-    let mut outs: Vec<Option<A::Out>> = (0..n).map(|_| None).collect();
-    for v in g.nodes() {
-        if outs[v.index()].is_none() {
-            outs[v.index()] = algo.output(&states[v.index()]);
-        }
+    let outcome = run_rounds_on(net, &Strict(algo), max_rounds, &mut PerfectLink);
+    if outcome.outputs.iter().all(Option::is_some) {
+        let outs = outcome.outputs.into_iter().flatten().collect();
+        Ok((outs, outcome.rounds))
+    } else {
+        Err(RoundLimitExceeded { max_rounds })
     }
-    if outs.iter().all(Option::is_some) {
-        return Ok((outs.into_iter().map(Option::unwrap).collect(), 0));
-    }
-    for round in 1..=max_rounds {
-        // Collect all outboxes first (synchronous semantics).
-        let outboxes: Vec<Vec<A::Msg>> = g
-            .nodes()
-            .map(|v| {
-                let msgs = algo.send(&states[v.index()], &infos[v.index()]);
-                assert_eq!(
-                    msgs.len(),
-                    g.degree(v),
-                    "send() must produce one message per port"
-                );
-                msgs
-            })
-            .collect();
-        // Deliver: the message on v's port i comes from neighbor u = nbrs[i],
-        // sent on u's port towards v.
-        for v in g.nodes() {
-            let inbox: Vec<A::Msg> = g
-                .neighbors(v)
-                .iter()
-                .map(|&u| {
-                    let port_back = g.port(u, v).expect("symmetric adjacency");
-                    outboxes[u.index()][port_back].clone()
-                })
-                .collect();
-            if outs[v.index()].is_none() {
-                algo.receive(&mut states[v.index()], &infos[v.index()], &inbox);
-                outs[v.index()] = algo.output(&states[v.index()]);
-            }
-        }
-        if outs.iter().all(Option::is_some) {
-            return Ok((outs.into_iter().map(Option::unwrap).collect(), round));
-        }
-    }
-    Err(RoundLimitExceeded { max_rounds })
 }
 
 /// A ready-made round algorithm: synchronous flooding that computes each
@@ -220,5 +355,148 @@ mod tests {
         let net = Network::with_identity_ids(g).with_inputs(vec![false; 10]);
         let err = run_rounds(&net, &FloodDistance, 3).unwrap_err();
         assert_eq!(err.max_rounds, 3);
+    }
+
+    /// Each node outputs its hop distance from the source the moment it
+    /// learns it — so node `k` on a path halts at round `k`, and node
+    /// `k + 1` can only ever learn its distance from the *already-halted*
+    /// node `k`. Progress past round 1 therefore proves halted nodes keep
+    /// sending their final-state messages.
+    struct Relay;
+
+    impl RoundAlgorithm<bool> for Relay {
+        type State = Option<usize>;
+        type Msg = Option<usize>;
+        type Out = usize;
+
+        fn init(&self, info: &LocalInfo<bool>) -> Option<usize> {
+            info.input.then_some(0)
+        }
+
+        fn send(&self, st: &Option<usize>, info: &LocalInfo<bool>) -> Vec<Option<usize>> {
+            vec![*st; info.degree]
+        }
+
+        fn receive(
+            &self,
+            st: &mut Option<usize>,
+            _info: &LocalInfo<bool>,
+            inbox: &[Option<usize>],
+        ) {
+            for d in inbox.iter().flatten() {
+                if st.is_none_or(|cur| d + 1 < cur) {
+                    *st = Some(d + 1);
+                }
+            }
+        }
+
+        fn output(&self, st: &Option<usize>) -> Option<usize> {
+            *st
+        }
+    }
+
+    #[test]
+    fn halted_nodes_keep_sending_final_state() {
+        let n = 8;
+        let g = generators::path(n);
+        let mut sources = vec![false; n];
+        sources[0] = true;
+        let net = Network::with_identity_ids(g).with_inputs(sources);
+        let (outs, rounds) = run_rounds(&net, &Relay, n).unwrap();
+        // Node k's distance arrives via node k-1, which halted at round k-1.
+        assert_eq!(outs, (0..n).collect::<Vec<usize>>());
+        assert_eq!(rounds, n - 1, "last node terminates in round n-1");
+    }
+
+    #[test]
+    fn never_halting_node_trips_limit_with_correct_round_count() {
+        // No source: FloodDistance nodes only halt after n rounds of
+        // silence, so any budget below n must fail with that exact budget.
+        let n = 12;
+        let g = generators::cycle(n);
+        let net = Network::with_identity_ids(g).with_inputs(vec![false; n]);
+        for budget in [0, 1, n - 1] {
+            let err = run_rounds(&net, &FloodDistance, budget).unwrap_err();
+            assert_eq!(err.max_rounds, budget);
+            assert!(err.to_string().contains(&budget.to_string()));
+        }
+        // And the exact budget n succeeds in exactly n rounds.
+        let (_, rounds) = run_rounds(&net, &FloodDistance, n).unwrap();
+        assert_eq!(rounds, n);
+    }
+
+    #[test]
+    fn transported_runner_matches_legacy_on_perfect_links() {
+        let g = generators::grid2d(4, 4, false);
+        let sources: Vec<bool> = g.nodes().map(|v| v.index() == 5).collect();
+        let net = Network::with_identity_ids(g).with_inputs(sources);
+        let (outs, rounds) = run_rounds(&net, &FloodDistance, 64).unwrap();
+        let outcome = run_rounds_on(&net, &Strict(&FloodDistance), 64, &mut PerfectLink);
+        assert_eq!(outcome.rounds, rounds);
+        assert_eq!(outcome.faults, FaultStats::default());
+        assert!(outcome.crashed.is_empty());
+        let robust: Vec<_> = outcome.outputs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(robust, outs);
+    }
+
+    /// [`Relay`] restated against the lossy interface: tolerates empty and
+    /// repeated port deliveries.
+    struct LossyRelay;
+
+    impl LossyRoundAlgorithm<bool> for LossyRelay {
+        type State = Option<usize>;
+        type Msg = Option<usize>;
+        type Out = usize;
+
+        fn init(&self, info: &LocalInfo<bool>) -> Option<usize> {
+            info.input.then_some(0)
+        }
+
+        fn send(&self, st: &Option<usize>, info: &LocalInfo<bool>) -> Vec<Option<usize>> {
+            vec![*st; info.degree]
+        }
+
+        fn receive(
+            &self,
+            st: &mut Option<usize>,
+            _info: &LocalInfo<bool>,
+            inbox: Vec<Vec<Option<usize>>>,
+        ) {
+            for d in inbox.into_iter().flatten().flatten() {
+                if st.is_none_or(|cur| d + 1 < cur) {
+                    *st = Some(d + 1);
+                }
+            }
+        }
+
+        fn output(&self, st: &Option<usize>) -> Option<usize> {
+            *st
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_go_silent_and_produce_no_output() {
+        use crate::transport::FaultPlan;
+        // Path with the source at one end; crash the middle node before it
+        // can relay: everyone past it starves, everyone before it finishes.
+        let n = 7;
+        let g = generators::path(n);
+        let mut sources = vec![false; n];
+        sources[0] = true;
+        let net = Network::with_identity_ids(g).with_inputs(sources);
+        let crash_at = 3;
+        let plan = FaultPlan::new(5).crash(NodeId(crash_at as u32), crash_at);
+        let mut run = plan.start();
+        let budget = 4 * n;
+        let outcome = run_rounds_on(&net, &LossyRelay, budget, &mut run);
+        for v in 0..n {
+            match v.cmp(&crash_at) {
+                std::cmp::Ordering::Less => assert_eq!(outcome.outputs[v], Some(v)),
+                _ => assert_eq!(outcome.outputs[v], None, "node {v} starves"),
+            }
+        }
+        assert_eq!(outcome.crashed, vec![NodeId(crash_at as u32)]);
+        assert_eq!(outcome.rounds, budget, "starved nodes exhaust the budget");
+        assert!(outcome.faults.suppressed > 0, "crash silence is counted");
     }
 }

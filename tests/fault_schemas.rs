@@ -1,0 +1,408 @@
+//! The fault matrix, part 2: advice schemas are never silently wrong under
+//! *transport* tampering.
+//!
+//! `tests/tamper.rs` corrupts advice at rest; this suite corrupts it in
+//! transit, using the same seeded [`FaultPlan`] machinery the runtime's
+//! transport uses (`crates/runtime/tests/faults.rs` is part 1, at the
+//! gather layer). Advice crosses a faulty last hop via
+//! [`deliver_advice`] — drops, duplication, delays, bit corruption, and
+//! crash-stopped nodes — and then each schema decoder runs on what was
+//! *actually delivered*. The invariants, per cell of the
+//! plan × schema × graph grid:
+//!
+//! 1. **Fault-free ⇒ bit-identical.** Delivery is the identity and every
+//!    decode matches the direct (un-transported) decode exactly.
+//! 2. **Recoverable ⇒ heals.** Content-preserving plans with a
+//!    retransmission budget deliver the advice intact, so decodes stay
+//!    bit-identical.
+//! 3. **Hostile ⇒ loud.** Corrupting or crashing plans end in a typed
+//!    error ([`RobustDecodeError`]) or an output the schema's *checker*
+//!    accepts — never a silently invalid output.
+//!
+//! The balanced schema is additionally exercised end-to-end over the
+//! fault-injecting transport itself ([`decode_gathered`]), where the
+//! flooded views — structure *and* advice — are what gets tampered.
+
+use local_advice::core::balanced::BalancedOrientationSchema;
+use local_advice::core::checked::{
+    decode_gathered, decode_gathered_checked, deliver_advice, CheckedSchema, RobustDecodeError,
+};
+use local_advice::core::decompress::EdgeSubsetCodec;
+use local_advice::core::onebit::OneBitSchema;
+use local_advice::core::proofs::orientation_labeling;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::core::three_coloring::ThreeColoringSchema;
+use local_advice::graph::{coloring, generators, IdAssignment, NodeId};
+use local_advice::lcl::problems::{AlmostBalancedOrientation, ProperColoring};
+use local_advice::lcl::Labeling;
+use local_advice::runtime::Network;
+use local_advice::runtime::{FaultPlan, PerfectLink};
+
+const DELIVERY_BUDGET: usize = 30;
+
+fn fault_free_plans() -> Vec<FaultPlan> {
+    [3u64, 41, 271].into_iter().map(FaultPlan::new).collect()
+}
+
+fn recoverable_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("drop20", FaultPlan::new(seed).drop_rate(0.20)),
+        ("drop40", FaultPlan::new(seed).drop_rate(0.40)),
+        (
+            "drop+delay",
+            FaultPlan::new(seed).drop_rate(0.10).delay(0.4, 2),
+        ),
+        ("dup30", FaultPlan::new(seed).duplicate_rate(0.30)),
+    ]
+}
+
+fn hostile_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        // Light enough that some seeded runs deliver every string intact
+        // (the grid must exercise acceptance too), heavy enough that
+        // others don't.
+        ("corrupt-light", FaultPlan::new(seed).corrupt_rate(0.005)),
+        ("corrupt8", FaultPlan::new(seed).corrupt_rate(0.08)),
+        (
+            "corrupt+drop",
+            FaultPlan::new(seed).corrupt_rate(0.03).drop_rate(0.10),
+        ),
+        (
+            "corrupt-heavy",
+            FaultPlan::new(seed).corrupt_rate(0.30).duplicate_rate(0.20),
+        ),
+    ]
+}
+
+/// Total cell count of the hostile grid ([`hostile_plans`] × seeds).
+const HOSTILE_CELLS: u32 = 10 * 4;
+
+// ---------------------------------------------------------------------------
+// Invariants 1 + 2: delivery itself is exact under benign plans.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn benign_delivery_is_the_identity_for_every_schema_advice() {
+    // One advice map per schema family, delivered under the benign grid:
+    // the delivered map must equal the original bit for bit.
+    let net = Network::with_identity_ids(generators::cycle(90));
+    let balanced = BalancedOrientationSchema::default();
+    let three_net = {
+        let (g, _) = generators::random_tripartite([18, 18, 18], 4, 85, 4);
+        Network::with_identity_ids(g)
+    };
+    let three = ThreeColoringSchema::default();
+    let maps = vec![
+        ("balanced", &net, balanced.encode(&net).unwrap()),
+        (
+            "three_coloring",
+            &three_net,
+            three.encode(&three_net).unwrap(),
+        ),
+    ];
+    for (name, net, advice) in &maps {
+        for plan in fault_free_plans() {
+            let (delivered, stats) = deliver_advice(net, advice, &plan, 1).unwrap();
+            assert_eq!(&delivered, advice, "{name}: fault-free delivery mutated");
+            assert_eq!(stats.total_faults(), 0, "{name}: phantom faults");
+        }
+        for seed in [5u64, 6] {
+            for (plan_name, plan) in recoverable_plans(seed) {
+                assert!(plan.is_content_preserving());
+                let (delivered, _) = deliver_advice(net, advice, &plan, DELIVERY_BUDGET).unwrap();
+                assert_eq!(&delivered, advice, "{name}/{plan_name} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn benign_delivery_keeps_decodes_bit_identical() {
+    let net = Network::with_identity_ids(generators::cycle(80));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let (direct, direct_stats) = schema.decode(&net, &advice).unwrap();
+    for (plan_name, plan) in recoverable_plans(9) {
+        let (delivered, _) = deliver_advice(&net, &advice, &plan, DELIVERY_BUDGET).unwrap();
+        let (decoded, stats) = schema.decode(&net, &delivered).unwrap();
+        assert_eq!(decoded, direct, "{plan_name}");
+        assert_eq!(stats.rounds(), direct_stats.rounds(), "{plan_name}");
+    }
+}
+
+#[test]
+fn starvation_is_typed_not_silent() {
+    let net = Network::with_identity_ids(generators::cycle(40));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+
+    // Blackout: every node starves.
+    match deliver_advice(&net, &advice, &FaultPlan::new(8).drop_rate(1.0), 10) {
+        Err(RobustDecodeError::Undelivered { nodes }) => assert_eq!(nodes.len(), 40),
+        other => panic!("expected Undelivered, got {other:?}"),
+    }
+
+    // Crash-stop: exactly the crashed node starves.
+    let plan = FaultPlan::new(8).crash(NodeId(7), 0);
+    match deliver_advice(&net, &advice, &plan, 10) {
+        Err(RobustDecodeError::Undelivered { nodes }) => {
+            assert_eq!(nodes, vec![net.uid(NodeId(7))]);
+        }
+        other => panic!("expected Undelivered, got {other:?}"),
+    }
+
+    // A crash *after* delivery started is harmless.
+    let plan = FaultPlan::new(8).crash(NodeId(7), 5);
+    let (delivered, _) = deliver_advice(&net, &advice, &plan, 10).unwrap();
+    assert_eq!(delivered, advice);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 3, per schema: corrupted delivery ends typed or checker-valid.
+// ---------------------------------------------------------------------------
+
+/// Runs the hostile grid for one checked schema; every cell must end in a
+/// typed error or an output that passed the schema's own checker. Returns
+/// (accepted, rejected) so callers can assert both outcomes occur.
+fn hostile_cells<S, F>(
+    net: &Network,
+    advice: &local_advice::core::AdviceMap,
+    checked: &CheckedSchema<S, F>,
+    extra_valid: impl Fn(&S::Output),
+) -> (u32, u32)
+where
+    S: AdviceSchema,
+    S::Output: Clone,
+    F: Fn(&Network, S::Output) -> Labeling,
+{
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for seed in 0..10u64 {
+        for (plan_name, plan) in hostile_plans(seed) {
+            let delivered = match deliver_advice(net, advice, &plan, DELIVERY_BUDGET) {
+                Ok((map, _)) => map,
+                Err(RobustDecodeError::Undelivered { .. }) => {
+                    rejected += 1;
+                    continue;
+                }
+                Err(other) => panic!("{plan_name}: unexpected delivery error {other:?}"),
+            };
+            match checked.decode_checked(net, &delivered) {
+                Ok((out, _)) => {
+                    extra_valid(&out);
+                    accepted += 1;
+                }
+                Err(RobustDecodeError::Decode(_) | RobustDecodeError::Rejected { .. }) => {
+                    rejected += 1
+                }
+                Err(other) => panic!("{plan_name}: unexpected error shape {other:?}"),
+            }
+        }
+    }
+    (accepted, rejected)
+}
+
+#[test]
+fn balanced_schema_is_never_silently_wrong_under_corruption() {
+    let net = Network::with_identity_ids(generators::cycle(60));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let lcl = AlmostBalancedOrientation;
+    let checked = CheckedSchema::new(&schema, &lcl, orientation_labeling);
+    let (accepted, rejected) = hostile_cells(&net, &advice, &checked, |o| {
+        assert!(
+            o.is_almost_balanced(net.graph()),
+            "checker passed an unbalanced orientation"
+        );
+    });
+    assert!(accepted > 0, "no corrupted cell ever recovered or passed");
+    assert!(rejected > 0, "no corrupted cell was ever rejected");
+}
+
+#[test]
+fn three_coloring_schema_is_never_silently_wrong_under_corruption() {
+    let (g, _) = generators::random_tripartite([20, 20, 20], 4, 95, 14);
+    let net = Network::with_identity_ids(g);
+    let schema = ThreeColoringSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let lcl = ProperColoring::new(3);
+    let checked = CheckedSchema::new(&schema, &lcl, |net: &Network, colors: Vec<usize>| {
+        Labeling::from_node_labels(colors, net.graph().m())
+    });
+    let (accepted, rejected) = hostile_cells(&net, &advice, &checked, |colors| {
+        assert!(
+            coloring::is_proper_k_coloring(net.graph(), colors, 3),
+            "checker passed an improper 3-coloring"
+        );
+    });
+    assert!(accepted + rejected > 0);
+    assert!(rejected > 0, "heavy corruption never rejected");
+}
+
+#[test]
+fn onebit_schema_is_never_silently_wrong_under_corruption() {
+    // One-bit placement needs the sparse poly(n) identifier space the
+    // LOCAL model allows (identity ids make the walks collide).
+    let g = generators::cycle(360);
+    let n = g.n();
+    let net = Network::with_ids(g, IdAssignment::random_sparse(n, (n as u64).pow(2), 5));
+    let schema = OneBitSchema::new(BalancedOrientationSchema::new(16, 90), 2);
+    let advice = schema.encode(&net).unwrap();
+    let lcl = AlmostBalancedOrientation;
+    let checked = CheckedSchema::new(&schema, &lcl, orientation_labeling);
+    let (accepted, rejected) = hostile_cells(&net, &advice, &checked, |o| {
+        assert!(o.is_almost_balanced(net.graph()));
+    });
+    assert_eq!(
+        accepted + rejected,
+        HOSTILE_CELLS,
+        "a cell went unaccounted"
+    );
+    assert!(rejected > 0, "one-bit advice corruption never caught");
+}
+
+#[test]
+fn decompression_under_corruption_never_panics_or_lies_about_shape() {
+    let g = generators::grid2d(7, 7, true);
+    let m = g.m();
+    let net = Network::with_identity_ids(g);
+    let subset: Vec<bool> = (0..m).map(|i| i % 3 == 0).collect();
+    let codec = EdgeSubsetCodec::default();
+    let advice = codec.compress(&net, &subset).unwrap();
+
+    // Benign plans: the decompressed subset is bit-identical.
+    for (plan_name, plan) in recoverable_plans(15) {
+        let (delivered, _) = deliver_advice(&net, &advice, &plan, DELIVERY_BUDGET).unwrap();
+        let (decoded, _) = codec.decompress(&net, &delivered).unwrap();
+        assert_eq!(decoded, subset, "{plan_name}");
+    }
+
+    // Hostile plans: compression is not error-correcting, so a corrupted
+    // payload may decode to a *different* subset — but it must never
+    // panic and never return a wrong-length vector, and heavy corruption
+    // must be caught at least sometimes.
+    let mut errors = 0;
+    for seed in 0..10u64 {
+        for (_, plan) in hostile_plans(seed) {
+            let delivered = match deliver_advice(&net, &advice, &plan, DELIVERY_BUDGET) {
+                Ok((map, _)) => map,
+                Err(_) => {
+                    errors += 1;
+                    continue;
+                }
+            };
+            match codec.decompress(&net, &delivered) {
+                Ok((decoded, _)) => assert_eq!(decoded.len(), m),
+                Err(_) => errors += 1,
+            }
+        }
+    }
+    assert!(errors > 0, "corruption was never caught outright");
+}
+
+// ---------------------------------------------------------------------------
+// Balanced, fully transported: decode over the fault-injecting transport.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gathered_decode_fault_free_matches_direct_decode() {
+    for g in [
+        generators::cycle(48),
+        generators::random_even_degree(40, 3, 10, 2),
+    ] {
+        let net = Network::with_identity_ids(g);
+        let schema = BalancedOrientationSchema::default();
+        let advice = schema.encode(&net).unwrap();
+        let (direct, _) = schema.decode(&net, &advice).unwrap();
+        let budget = schema.decode_radius() + 3;
+        let (o, report) =
+            decode_gathered(&schema, &net, &advice, &mut PerfectLink, budget).unwrap();
+        assert_eq!(o, direct);
+        assert_eq!(report.rounds_used, schema.decode_radius());
+        assert_eq!(report.faults.total_faults(), 0);
+
+        // A fault-free FaultRun behaves exactly like PerfectLink.
+        let plan = FaultPlan::new(99);
+        let mut run = plan.start();
+        let (o2, report2) = decode_gathered(&schema, &net, &advice, &mut run, budget).unwrap();
+        assert_eq!(o2, direct);
+        assert_eq!(report2.rounds_used, report.rounds_used);
+    }
+}
+
+#[test]
+fn gathered_decode_heals_drops_within_budget() {
+    let net = Network::with_identity_ids(generators::cycle(44));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let (direct, _) = schema.decode(&net, &advice).unwrap();
+    let budget = schema.decode_radius() + 15;
+    for seed in [61u64, 62] {
+        let plan = FaultPlan::new(seed).drop_rate(0.10);
+        let mut run = plan.start();
+        let (o, report) = decode_gathered(&schema, &net, &advice, &mut run, budget)
+            .unwrap_or_else(|e| panic!("seed {seed}: did not heal: {e}"));
+        assert_eq!(o, direct, "seed {seed}");
+        assert!(report.rounds_used <= budget);
+        assert!(report.faults.dropped > 0, "seed {seed}: inert plan");
+    }
+}
+
+#[test]
+fn gathered_decode_under_corruption_is_loud_or_checker_valid() {
+    let net = Network::with_identity_ids(generators::cycle(40));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let lcl = AlmostBalancedOrientation;
+    let budget = schema.decode_radius() + 6;
+    let mut rejected = 0;
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed).corrupt_rate(0.04);
+        let mut run = plan.start();
+        match decode_gathered_checked(&schema, &net, &advice, &mut run, budget, &lcl) {
+            Ok((o, _)) => assert!(o.is_almost_balanced(net.graph())),
+            Err(
+                RobustDecodeError::Gather(_)
+                | RobustDecodeError::Decode(_)
+                | RobustDecodeError::Rejected { .. },
+            ) => rejected += 1,
+            Err(other) => panic!("seed {seed}: unexpected error shape {other:?}"),
+        }
+    }
+    assert!(rejected > 0, "transport corruption never surfaced");
+}
+
+#[test]
+fn gathered_decode_replays_identically() {
+    let net = Network::with_identity_ids(generators::cycle(36));
+    let schema = BalancedOrientationSchema::default();
+    let advice = schema.encode(&net).unwrap();
+    let budget = schema.decode_radius() + 8;
+    for (plan_name, plan) in [
+        ("drop", FaultPlan::new(7).drop_rate(0.2)),
+        ("corrupt", FaultPlan::new(7).corrupt_rate(0.05)),
+        (
+            "mixed",
+            FaultPlan::new(7)
+                .drop_rate(0.1)
+                .corrupt_rate(0.02)
+                .delay(0.2, 2),
+        ),
+    ] {
+        let mut run_a = plan.start();
+        let res_a = decode_gathered(&schema, &net, &advice, &mut run_a, budget);
+        let mut run_b = plan.start();
+        let res_b = decode_gathered(&schema, &net, &advice, &mut run_b, budget);
+        assert_eq!(
+            format!("{res_a:?}"),
+            format!("{res_b:?}"),
+            "{plan_name}: outcome not reproducible"
+        );
+        use local_advice::runtime::Transport;
+        assert_eq!(
+            run_a.fault_stats(),
+            run_b.fault_stats(),
+            "{plan_name}: fault tally drifted"
+        );
+    }
+}

@@ -6,8 +6,11 @@ use local_advice::baselines::no_advice;
 use local_advice::core::balanced::BalancedOrientationSchema;
 use local_advice::core::schema::AdviceSchema;
 use local_advice::graph::{generators, GraphBuilder, IdAssignment, NodeId};
+use local_advice::runtime::canonical::canonicalize;
 use local_advice::runtime::messaging::{run_rounds, FloodDistance};
-use local_advice::runtime::{run_local, Network};
+use local_advice::runtime::{
+    run_gathered, run_gathered_robust, run_local, Ball, FaultPlan, GatherError, Network,
+};
 use proptest::prelude::*;
 
 fn arb_connected_network() -> impl Strategy<Value = Network> {
@@ -67,6 +70,51 @@ proptest! {
         let (o, stats) = schema.decode(&net, &advice).expect("decode");
         prop_assert!(o.is_almost_balanced(net.graph()));
         prop_assert!(stats.rounds() <= schema.decode_radius());
+    }
+
+    /// Gathering views by message flooding ([`run_gathered`]) equals direct
+    /// ball collection ([`Ball::collect`]) — for any connected topology,
+    /// any permuted identifier assignment, any radius. The two paths share
+    /// no code above the graph layer, so agreement pins the LOCAL-model
+    /// contract from both sides.
+    #[test]
+    fn gathered_views_equal_collected_balls(net in arb_connected_network(), r in 0usize..4) {
+        let (gathered, rounds) =
+            run_gathered(&net, r, |ball| canonicalize(ball, |_| 0)).expect("terminates");
+        prop_assert_eq!(rounds, r);
+        for v in net.graph().nodes() {
+            let direct = canonicalize(&Ball::collect(&net, v, r), |_| 0);
+            prop_assert_eq!(&gathered[v.index()], &direct, "node {:?} radius {}", v, r);
+        }
+    }
+
+    /// The fault-tolerant gather agrees with [`Ball::collect`] too, even
+    /// while healing a seeded drop plan — and fails loudly (never wrongly)
+    /// when it cannot heal in time.
+    #[test]
+    fn robust_gather_equals_collected_balls_or_fails_loudly(
+        net in arb_connected_network(),
+        r in 0usize..3,
+        seed in 0u64..64,
+    ) {
+        let plan = FaultPlan::new(seed).drop_rate(0.2);
+        let mut transport = plan.start();
+        match run_gathered_robust(&net, r, r + 20, &mut transport, |ball| {
+            canonicalize(ball, |_| 0)
+        }) {
+            Ok((gathered, report)) => {
+                prop_assert!(report.rounds_used <= r + 20);
+                for v in net.graph().nodes() {
+                    let direct = canonicalize(&Ball::collect(&net, v, r), |_| 0);
+                    prop_assert_eq!(&gathered[v.index()], &direct);
+                }
+            }
+            Err(e) => {
+                // Typed degradation is allowed; silence is not. (With a
+                // 20-round slack this branch is rare but legitimate.)
+                prop_assert!(matches!(e, GatherError::PartialView { .. }));
+            }
+        }
     }
 
     /// The no-advice baseline pays (at least) the graph radius on cycles;
