@@ -1,0 +1,54 @@
+//! Criterion counterpart of the `pipeline_bench` binary: full
+//! encode → decode round trips at sizes small enough for statistical
+//! sampling. The binary covers the large-n throughput snapshot; this
+//! bench tracks regressions in the pipeline's constant factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lad_core::balanced::BalancedOrientationSchema;
+use lad_core::cluster_coloring::ClusterColoringSchema;
+use lad_core::delta_coloring::DeltaColoringSchema;
+use lad_core::schema::AdviceSchema;
+use lad_graph::generators;
+use lad_runtime::Network;
+use std::hint::black_box;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g
+}
+
+fn round_trip<S: AdviceSchema>(schema: &S, net: &Network) {
+    let advice = schema.encode(net).unwrap();
+    schema.decode(net, &advice).unwrap();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = quick(c);
+    for n in [256usize, 1024] {
+        let cycle = Network::with_identity_ids(generators::cycle(n));
+        group.bench_with_input(BenchmarkId::new("balanced/cycle", n), &n, |b, _| {
+            b.iter(|| round_trip(&BalancedOrientationSchema::default(), black_box(&cycle)))
+        });
+        group.bench_with_input(BenchmarkId::new("cluster_coloring/cycle", n), &n, |b, _| {
+            b.iter(|| round_trip(&ClusterColoringSchema::default(), black_box(&cycle)))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_coloring/cycle", n), &n, |b, _| {
+            b.iter(|| round_trip(&DeltaColoringSchema::default(), black_box(&cycle)))
+        });
+        let side = (n as f64).sqrt().round() as usize;
+        let grid = Network::with_identity_ids(generators::grid2d(side, side, true));
+        group.bench_with_input(BenchmarkId::new("balanced/grid", n), &n, |b, _| {
+            b.iter(|| round_trip(&BalancedOrientationSchema::default(), black_box(&grid)))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_coloring/grid", n), &n, |b, _| {
+            b.iter(|| round_trip(&DeltaColoringSchema::default(), black_box(&grid)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -29,16 +29,6 @@ fn families(n: usize) -> Vec<(&'static str, Graph)> {
     ]
 }
 
-fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -46,28 +36,44 @@ fn main() {
     let radius = 2usize;
     let mut rows = Vec::new();
     for n in [1_000usize, 10_000, 100_000] {
-        let reps = if n >= 100_000 { 3 } else { 7 };
+        let reps = if n >= 100_000 { 7 } else { 11 };
         for (family, g) in families(n) {
             let n_actual = g.n();
             let net = Network::with_identity_ids(g);
             let algo = |ctx: &NodeCtx| ctx.view(radius).n();
             let threads = effective_parallelism(n_actual);
 
-            let seq = time_min(reps, || {
+            // Interleave the four paths within each rep (instead of timing
+            // each path in its own phase) so slow machine drift biases all
+            // paths equally rather than whichever phase ran last. Cold reps
+            // get a fresh empty cache with construction and teardown outside
+            // the timed region (criterion's `iter_batched` semantics) —
+            // dropping ~n retained balls measures the allocator, not
+            // cold-cache throughput. The warm pass reuses the cache the cold
+            // rep just populated.
+            let mut seq = f64::INFINITY;
+            let mut par = f64::INFINITY;
+            let mut cached_cold = f64::INFINITY;
+            let mut cached_warm = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
                 run_local(&net, algo);
-            });
-            let par = time_min(reps, || {
+                seq = seq.min(start.elapsed().as_secs_f64());
+
+                let start = Instant::now();
                 run_local_par(&net, algo);
-            });
-            let cached_cold = time_min(reps, || {
+                par = par.min(start.elapsed().as_secs_f64());
+
                 let cache = net.view_cache();
+                let start = Instant::now();
                 run_local_par_cached(&net, &cache, threads, algo);
-            });
-            let warm = net.view_cache();
-            run_local_par_cached(&net, &warm, threads, algo);
-            let cached_warm = time_min(reps, || {
-                run_local_par_cached(&net, &warm, threads, algo);
-            });
+                cached_cold = cached_cold.min(start.elapsed().as_secs_f64());
+
+                let start = Instant::now();
+                run_local_par_cached(&net, &cache, threads, algo);
+                cached_warm = cached_warm.min(start.elapsed().as_secs_f64());
+                drop(cache);
+            }
 
             eprintln!(
                 "{family:>15} n={n_actual:<7} seq {seq:.4}s  par {par:.4}s ({:.2}x)  \

@@ -1,5 +1,22 @@
 //! Advice maps: one bit string per node, with the statistics the paper's
 //! definitions quantify over.
+//!
+//! # Storage
+//!
+//! The map is a *bit-packed arena*: all per-node strings live concatenated
+//! in one contiguous `u64` buffer, with an `n + 1`-entry offset table
+//! delimiting each node's range. Compared to one heap `Vec<bool>` per node
+//! this removes `n` allocations per map, makes [`AdviceMap::total_bits`]
+//! O(1), and turns every statistic ([`AdviceMap::kind`],
+//! [`AdviceMap::holders`], [`AdviceMap::max_bits`]) into a streaming pass
+//! over the offset table with no intermediate buffers. Bit `i` of the
+//! arena is bit `i % 64` (LSB first) of word `i / 64`; trailing bits of
+//! the last word are kept zero so structural equality is derivable.
+//!
+//! Encoders that write nodes in increasing index order (all of ours)
+//! always append at the arena's end, so building a map is linear; an
+//! out-of-order [`AdviceMap::set`] splices, paying for the bits after the
+//! touched node.
 
 use crate::bits::BitString;
 use lad_graph::{traversal, Graph, NodeId};
@@ -22,6 +39,22 @@ pub enum AdviceKind {
     VariableLength,
 }
 
+/// Summary statistics of an advice map, computed in one streaming pass
+/// over the arena offsets — the numbers Definition 3.4/3.5 quantify over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdviceStats {
+    /// Number of nodes covered.
+    pub n: usize,
+    /// Total advice bits over all nodes.
+    pub total_bits: usize,
+    /// The longest per-node string (the `β` of Definition 3.4).
+    pub max_bits: usize,
+    /// Number of bit-holding nodes.
+    pub holders: usize,
+    /// The schema kind.
+    pub kind: AdviceKind,
+}
+
 /// An assignment of advice bit strings to the nodes of a graph.
 ///
 /// # Example
@@ -37,67 +70,190 @@ pub enum AdviceKind {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdviceMap {
-    strings: Vec<BitString>,
+    /// Concatenated per-node bits, LSB-first within each word; bits at and
+    /// above the total length are zero.
+    words: Vec<u64>,
+    /// `starts[v] .. starts[v + 1]` is node `v`'s bit range; `n + 1` long.
+    starts: Vec<usize>,
+}
+
+#[inline]
+fn push_bit(words: &mut Vec<u64>, len: &mut usize, b: bool) {
+    if (*len).is_multiple_of(64) {
+        words.push(0);
+    }
+    if b {
+        words[*len / 64] |= 1u64 << (*len % 64);
+    }
+    *len += 1;
 }
 
 impl AdviceMap {
     /// All-empty advice for `n` nodes.
     pub fn empty(n: usize) -> Self {
         AdviceMap {
-            strings: vec![BitString::new(); n],
+            words: Vec::new(),
+            starts: vec![0; n + 1],
         }
     }
 
     /// Builds from explicit per-node strings.
     pub fn from_strings(strings: Vec<BitString>) -> Self {
-        AdviceMap { strings }
+        let total: usize = strings.iter().map(BitString::len).sum();
+        let mut words = Vec::with_capacity(total.div_ceil(64));
+        let mut starts = Vec::with_capacity(strings.len() + 1);
+        starts.push(0);
+        let mut len = 0usize;
+        for s in &strings {
+            for &b in s.as_slice() {
+                push_bit(&mut words, &mut len, b);
+            }
+            starts.push(len);
+        }
+        AdviceMap { words, starts }
     }
 
     /// Uniform 1-bit advice from a boolean per node.
     pub fn from_one_bit(bits: &[bool]) -> Self {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
         AdviceMap {
-            strings: bits.iter().map(|&b| BitString::one_bit(b)).collect(),
+            words,
+            starts: (0..=bits.len()).collect(),
         }
     }
 
     /// Number of nodes covered.
     pub fn n(&self) -> usize {
-        self.strings.len()
+        self.starts.len() - 1
     }
 
-    /// The advice of node `v`.
-    pub fn get(&self, v: NodeId) -> &BitString {
-        &self.strings[v.index()]
+    #[inline]
+    fn bit(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Length of the advice of node `v`, without materializing it.
+    pub fn len_of(&self, v: NodeId) -> usize {
+        self.starts[v.index() + 1] - self.starts[v.index()]
+    }
+
+    /// Whether node `v` holds any advice, without materializing it.
+    pub fn is_holder(&self, v: NodeId) -> bool {
+        self.len_of(v) > 0
+    }
+
+    /// The advice bits of node `v`, zero-copy.
+    pub fn bits_of(&self, v: NodeId) -> impl Iterator<Item = bool> + '_ {
+        (self.starts[v.index()]..self.starts[v.index() + 1]).map(|i| self.bit(i))
+    }
+
+    /// The advice of node `v`, materialized.
+    pub fn get(&self, v: NodeId) -> BitString {
+        self.bits_of(v).collect()
+    }
+
+    /// Truncates the arena to `new_len` bits, zeroing the freed tail of the
+    /// last word so equality stays structural.
+    fn truncate_bits(&mut self, new_len: usize) {
+        self.words.truncate(new_len.div_ceil(64));
+        if !new_len.is_multiple_of(64) {
+            let last = self.words.last_mut().expect("nonempty after truncate");
+            *last &= (1u64 << (new_len % 64)) - 1;
+        }
+    }
+
+    /// Replaces node `v`'s range with `bits`, shifting every later node's
+    /// bits (O(bits after `v`); free when `v` is the last written node).
+    fn splice(&mut self, v: NodeId, bits: &BitString) {
+        let i = v.index();
+        let (s, e) = (self.starts[i], self.starts[i + 1]);
+        let total = *self.starts.last().expect("starts nonempty");
+        let tail: Vec<bool> = (e..total).map(|j| self.bit(j)).collect();
+        self.truncate_bits(s);
+        let mut len = s;
+        for &b in bits.as_slice() {
+            push_bit(&mut self.words, &mut len, b);
+        }
+        for b in tail {
+            push_bit(&mut self.words, &mut len, b);
+        }
+        let delta = bits.len() as isize - (e - s) as isize;
+        for st in self.starts[i + 1..].iter_mut() {
+            *st = (*st as isize + delta) as usize;
+        }
     }
 
     /// Overwrites the advice of node `v`.
     pub fn set(&mut self, v: NodeId, bits: BitString) {
-        self.strings[v.index()] = bits;
+        let i = v.index();
+        let s = self.starts[i];
+        if bits.len() == self.starts[i + 1] - s {
+            // Same length: overwrite in place, no shifting.
+            for (k, &b) in bits.as_slice().iter().enumerate() {
+                let mask = 1u64 << ((s + k) % 64);
+                let w = &mut self.words[(s + k) / 64];
+                if b {
+                    *w |= mask;
+                } else {
+                    *w &= !mask;
+                }
+            }
+        } else {
+            self.splice(v, &bits);
+        }
     }
 
     /// Appends bits to the advice of node `v`.
     pub fn append(&mut self, v: NodeId, bits: &BitString) {
-        self.strings[v.index()].extend(bits);
+        if bits.is_empty() {
+            return;
+        }
+        let i = v.index();
+        let e = self.starts[i + 1];
+        let total = *self.starts.last().expect("starts nonempty");
+        let tail: Vec<bool> = (e..total).map(|j| self.bit(j)).collect();
+        self.truncate_bits(e);
+        let mut len = e;
+        for &b in bits.as_slice() {
+            push_bit(&mut self.words, &mut len, b);
+        }
+        for b in tail {
+            push_bit(&mut self.words, &mut len, b);
+        }
+        for st in self.starts[i + 1..].iter_mut() {
+            *st += bits.len();
+        }
     }
 
-    /// All per-node strings, indexed by node.
-    pub fn strings(&self) -> &[BitString] {
-        &self.strings
+    /// All per-node strings, indexed by node, materialized from the arena.
+    pub fn strings(&self) -> Vec<BitString> {
+        (0..self.n())
+            .map(|i| self.get(NodeId::from_index(i)))
+            .collect()
     }
 
-    /// Total number of advice bits.
+    /// Total number of advice bits (O(1): the arena's length).
     pub fn total_bits(&self) -> usize {
-        self.strings.iter().map(BitString::len).sum()
+        *self.starts.last().expect("starts nonempty")
     }
 
     /// The longest per-node string (the `β` of Definition 3.4).
     pub fn max_bits(&self) -> usize {
-        self.strings.iter().map(BitString::len).max().unwrap_or(0)
+        self.starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average bits per node.
     pub fn mean_bits(&self) -> f64 {
-        if self.strings.is_empty() {
+        if self.n() == 0 {
             return 0.0;
         }
         self.total_bits() as f64 / self.n() as f64
@@ -105,33 +261,45 @@ impl AdviceMap {
 
     /// The bit-holding nodes (non-empty advice), in index order.
     pub fn holders(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.strings
-            .iter()
+        self.starts
+            .windows(2)
             .enumerate()
-            .filter(|&(_i, s)| !s.is_empty())
-            .map(|(i, _s)| NodeId::from_index(i))
+            .filter(|(_i, w)| w[1] > w[0])
+            .map(|(i, _w)| NodeId::from_index(i))
     }
 
-    /// Classifies the map per Definition 3.4.
+    /// Classifies the map per Definition 3.4 — one streaming pass over the
+    /// offset table, no intermediate length vector.
     pub fn kind(&self) -> AdviceKind {
-        let mut lens: Vec<usize> = self
-            .strings
-            .iter()
-            .map(BitString::len)
-            .filter(|&l| l > 0)
-            .collect();
-        lens.sort_unstable();
-        lens.dedup();
-        match lens.as_slice() {
-            [] => AdviceKind::UniformFixedLength { bits: 0 },
-            [l] => {
-                if self.strings.iter().all(|s| s.len() == *l) {
-                    AdviceKind::UniformFixedLength { bits: *l }
-                } else {
-                    AdviceKind::SubsetFixedLength { bits: *l }
-                }
+        let mut common: Option<usize> = None;
+        let mut any_empty = false;
+        for w in self.starts.windows(2) {
+            let l = w[1] - w[0];
+            if l == 0 {
+                any_empty = true;
+                continue;
             }
-            _ => AdviceKind::VariableLength,
+            match common {
+                None => common = Some(l),
+                Some(c) if c != l => return AdviceKind::VariableLength,
+                Some(_) => {}
+            }
+        }
+        match common {
+            None => AdviceKind::UniformFixedLength { bits: 0 },
+            Some(l) if any_empty => AdviceKind::SubsetFixedLength { bits: l },
+            Some(l) => AdviceKind::UniformFixedLength { bits: l },
+        }
+    }
+
+    /// Summary statistics in one streaming pass.
+    pub fn stats(&self) -> AdviceStats {
+        AdviceStats {
+            n: self.n(),
+            total_bits: self.total_bits(),
+            max_bits: self.max_bits(),
+            holders: self.holders().count(),
+            kind: self.kind(),
         }
     }
 
@@ -141,28 +309,26 @@ impl AdviceMap {
         if self.kind() != (AdviceKind::UniformFixedLength { bits: 1 }) {
             return None;
         }
-        let ones = self
-            .strings
-            .iter()
-            .filter(|s| s.len() == 1 && s.get(0))
-            .count();
+        // Uniform 1-bit: the arena is exactly one bit per node, so the
+        // ones count is the buffer's population count.
+        let ones: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
         Some(ones as f64 / self.n() as f64)
     }
 
     /// The maximum number of bit-holding nodes in any radius-`alpha` ball of
-    /// `g` — the `γ` that Definition 4 (composability) bounds.
+    /// `g` — the `γ` that Definition 4 (composability) bounds. Holder tests
+    /// read the arena offsets directly; no per-node boolean vector is built.
     ///
     /// # Panics
     ///
     /// Panics if `g` has a different node count.
     pub fn max_holders_per_ball(&self, g: &Graph, alpha: usize) -> usize {
         assert_eq!(g.n(), self.n());
-        let holders: Vec<bool> = self.strings.iter().map(|s| !s.is_empty()).collect();
         g.nodes()
             .map(|v| {
                 traversal::ball(g, v, alpha)
                     .into_iter()
-                    .filter(|&(u, _)| holders[u.index()])
+                    .filter(|&(u, _)| self.is_holder(u))
                     .count()
             })
             .max()
@@ -176,7 +342,7 @@ impl AdviceMap {
             .map(|v| {
                 traversal::ball(g, v, alpha)
                     .into_iter()
-                    .map(|(u, _)| self.strings[u.index()].len())
+                    .map(|(u, _)| self.len_of(u))
                     .sum()
             })
             .max()
@@ -250,5 +416,78 @@ mod tests {
         assert_eq!(a.max_bits(), 5);
         assert!((a.mean_bits() - 5.0 / 3.0).abs() < 1e-9);
         assert_eq!(a.holders().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn arena_round_trips_arbitrary_strings() {
+        let strings = vec![
+            BitString::parse("101"),
+            BitString::new(),
+            BitString::parse("0"),
+            BitString::parse("1111111111111111"),
+            BitString::parse("010101010101010101010101010101010101010101010101"),
+            BitString::new(),
+            BitString::parse("1"),
+        ];
+        let a = AdviceMap::from_strings(strings.clone());
+        assert_eq!(a.strings(), strings);
+        for (i, s) in strings.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            assert_eq!(a.get(v), *s, "node {i}");
+            assert_eq!(a.len_of(v), s.len());
+            assert_eq!(a.is_holder(v), !s.is_empty());
+            assert_eq!(a.bits_of(v).collect::<Vec<_>>(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn out_of_order_set_splices_correctly() {
+        // Write nodes out of order, with length changes, and compare to a
+        // map built from the final strings directly.
+        let mut a = AdviceMap::empty(4);
+        a.set(NodeId(3), BitString::parse("111"));
+        a.set(NodeId(0), BitString::parse("00"));
+        a.set(NodeId(1), BitString::parse("10110"));
+        a.set(NodeId(0), BitString::parse("1")); // shrink, shifts tail left
+        a.set(NodeId(3), BitString::parse("0000")); // grow at the end
+        a.append(NodeId(1), &BitString::parse("01")); // append mid-arena
+        let expect = AdviceMap::from_strings(vec![
+            BitString::parse("1"),
+            BitString::parse("1011001"),
+            BitString::new(),
+            BitString::parse("0000"),
+        ]);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn equality_is_insensitive_to_write_history() {
+        // Two maps with equal contents built along different paths must be
+        // structurally equal (trailing word bits are kept zeroed).
+        let mut a = AdviceMap::empty(2);
+        a.set(NodeId(0), BitString::parse("11111"));
+        a.set(NodeId(1), BitString::parse("101"));
+        a.set(NodeId(0), BitString::parse("1"));
+        let mut b = AdviceMap::empty(2);
+        b.set(NodeId(0), BitString::parse("1"));
+        b.set(NodeId(1), BitString::parse("101"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_streams_the_arena() {
+        let mut a = AdviceMap::empty(5);
+        a.set(NodeId(1), BitString::parse("10"));
+        a.set(NodeId(4), BitString::parse("01"));
+        assert_eq!(
+            a.stats(),
+            AdviceStats {
+                n: 5,
+                total_bits: 4,
+                max_bits: 2,
+                holders: 2,
+                kind: AdviceKind::SubsetFixedLength { bits: 2 },
+            }
+        );
     }
 }

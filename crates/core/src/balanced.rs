@@ -37,7 +37,7 @@ use lad_graph::orientation::{
     pair_partner, slot_edges, slot_of, slot_pairs, sorted_incident_by_uid,
 };
 use lad_graph::{EdgeId, NodeId, Orientation, Trail};
-use lad_runtime::{run_local_fallible_par, Network, RoundStats};
+use lad_runtime::{par_map, run_local_fallible_par, Network, RoundStats};
 
 /// The almost-balanced-orientation schema (Contribution 3).
 ///
@@ -386,12 +386,19 @@ impl AdviceSchema for BalancedOrientationSchema {
         let g = net.graph();
         let uids = net.uids();
         let ep = lad_graph::EulerPartition::new(g, uids);
-        let mut records: Vec<Vec<AnchorRecord>> = vec![Vec::new(); g.n()];
-        for trail in ep.trails() {
+        // Trails are edge-disjoint and anchor placement touches only the
+        // trail's own nodes and slots, so each trail is an independent work
+        // item: fan out per trail, then merge in trail order. The merge
+        // order reproduces the sequential push order exactly (and the
+        // per-node records are sorted by slot before encoding anyway, with
+        // slots unique per node across trails), so the resulting advice is
+        // bit-identical to a sequential pass by construction.
+        let per_trail: Vec<Vec<(NodeId, AnchorRecord)>> = par_map(ep.trails(), |_, trail| {
             let (forward, force_anchor) = choose_direction(trail, uids);
             if trail.len() <= self.short_threshold && !force_anchor {
-                continue;
+                return Vec::new();
             }
+            let mut placed = Vec::new();
             for i in anchor_positions(trail, self.anchor_spacing) {
                 let (w, arrive, leave) = position_info(trail, i);
                 let slot =
@@ -400,10 +407,20 @@ impl AdviceSchema for BalancedOrientationSchema {
                 // Under the chosen orientation the trail enters w via
                 // `arrive` (if forward) or via `leave` (if reversed).
                 let enters_via = if forward { arrive } else { leave };
-                records[w.index()].push(AnchorRecord {
-                    slot,
-                    enters_first: enters_via == first,
-                });
+                placed.push((
+                    w,
+                    AnchorRecord {
+                        slot,
+                        enters_first: enters_via == first,
+                    },
+                ));
+            }
+            placed
+        });
+        let mut records: Vec<Vec<AnchorRecord>> = vec![Vec::new(); g.n()];
+        for placed in per_trail {
+            for (w, rec) in placed {
+                records[w.index()].push(rec);
             }
         }
         let mut advice = AdviceMap::empty(g.n());

@@ -25,7 +25,7 @@ use crate::bits::{bit_width, BitReader, BitString};
 use crate::error::{DecodeError, EncodeError};
 use crate::schema::AdviceSchema;
 use lad_graph::{coloring, ruling, Graph, NodeId};
-use lad_runtime::{run_local_fallible_par, Ball, Network, RoundStats};
+use lad_runtime::{par_map, run_local_fallible_par, Ball, Network, RoundStats};
 
 /// The fused cluster-coloring schema producing a proper `(Δ+1)`-coloring.
 ///
@@ -93,15 +93,55 @@ impl ClusterColoringSchema {
 
     /// The Voronoi clustering induced by `centers`: for each node, the
     /// `(distance, uid)`-nearest center.
-    fn assign_clusters(g: &Graph, uids: &[u64], centers: &[NodeId]) -> Vec<NodeId> {
-        let mut best: Vec<Option<(usize, u64, NodeId)>> = vec![None; g.n()];
-        for &c in centers {
-            let dist = lad_graph::traversal::bfs_distances(g, c);
-            for v in g.nodes() {
-                if let Some(d) = dist[v.index()] {
+    ///
+    /// `centers` is a `spacing`-ruling set, so every node has a center
+    /// within `spacing − 1` — a strictly smaller distance always wins the
+    /// `(distance, uid)` comparison, so centers farther than `spacing − 1`
+    /// can never claim a node. Each center therefore runs a BFS *bounded
+    /// to radius `spacing − 1`* over an epoch-stamped visited array
+    /// (ball-sized work per center instead of `O(n)`), and centers fan out
+    /// across workers whose claim arrays merge by the same deterministic
+    /// minimum. Result is identical to the full all-centers Voronoi.
+    fn assign_clusters(g: &Graph, uids: &[u64], centers: &[NodeId], spacing: usize) -> Vec<NodeId> {
+        let threads = lad_runtime::effective_parallelism(g.n()).max(1);
+        let chunk_len = centers.len().div_ceil(threads).max(1);
+        let chunks: Vec<&[NodeId]> = centers.chunks(chunk_len).collect();
+        let claims: Vec<Vec<Option<(usize, u64, NodeId)>>> = par_map(&chunks, |_, chunk| {
+            let mut best: Vec<Option<(usize, u64, NodeId)>> = vec![None; g.n()];
+            let mut stamp = vec![0u32; g.n()];
+            let mut epoch = 0u32;
+            let mut queue: Vec<(NodeId, usize)> = Vec::new();
+            for &c in *chunk {
+                epoch += 1;
+                queue.clear();
+                queue.push((c, 0));
+                stamp[c.index()] = epoch;
+                let mut head = 0;
+                while head < queue.len() {
+                    let (v, d) = queue[head];
+                    head += 1;
                     let cand = (d, uids[c.index()], c);
                     if best[v.index()].is_none_or(|(bd, bu, _)| (cand.0, cand.1) < (bd, bu)) {
                         best[v.index()] = Some(cand);
+                    }
+                    if d + 1 < spacing {
+                        for &u in g.neighbors(v) {
+                            if stamp[u.index()] != epoch {
+                                stamp[u.index()] = epoch;
+                                queue.push((u, d + 1));
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        });
+        let mut best: Vec<Option<(usize, u64, NodeId)>> = vec![None; g.n()];
+        for chunk_best in claims {
+            for (i, cand) in chunk_best.into_iter().enumerate() {
+                if let Some(c) = cand {
+                    if best[i].is_none_or(|(bd, bu, _)| (c.0, c.1) < (bd, bu)) {
+                        best[i] = Some(c);
                     }
                 }
             }
@@ -126,7 +166,7 @@ impl AdviceSchema for ClusterColoringSchema {
         let g = net.graph();
         let uids = net.uids();
         let centers = ruling::ruling_set(g, self.cluster_spacing);
-        let cluster_of = Self::assign_clusters(g, uids, &centers);
+        let cluster_of = Self::assign_clusters(g, uids, &centers, self.cluster_spacing);
         // Color the cluster graph greedily (by center uid order).
         let mut center_index = vec![usize::MAX; g.n()];
         for (i, &c) in centers.iter().enumerate() {

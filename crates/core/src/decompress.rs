@@ -96,7 +96,7 @@ impl EdgeSubsetCodec {
             let track0 = orient_advice.get(v);
             let mut s = BitString::new();
             s.push_gamma(track0.len() as u64);
-            s.extend(track0);
+            s.extend(&track0);
             for e in sorted_incident_by_uid(g, uids, v) {
                 if orientation.is_outgoing(g, e, v) {
                     s.push(subset[e.index()]);
@@ -118,7 +118,7 @@ impl EdgeSubsetCodec {
         let mut membership = Vec::with_capacity(g.n());
         for v in g.nodes() {
             let s = advice.get(v);
-            let mut r = BitReader::new(s);
+            let mut r = BitReader::new(&s);
             let len = r
                 .read_gamma()
                 .ok_or_else(|| DecodeError::malformed(v, "missing track header"))?

@@ -32,7 +32,7 @@ use crate::tracks::{demultiplex, multiplex};
 use lad_graph::{coloring, traversal, Graph, InducedSubgraph, NodeId};
 use lad_lcl::brute::{complete, CompleteError, Region};
 use lad_lcl::problems::ProperColoring;
-use lad_runtime::{run_local_par, Network, RoundStats};
+use lad_runtime::{par_map, run_local_par, Network, RoundStats};
 
 /// The Δ-coloring schema (Contribution 5).
 ///
@@ -102,26 +102,25 @@ impl DeltaColoringSchema {
         out
     }
 
-    /// Centralized augmenting-region repair: turns `chi` (proper, colors
-    /// `≤ Δ`) into a proper Δ-coloring, changing as few nodes as possible
-    /// regionally.
-    fn repair_to_delta(
+    /// Repairs every stuck node of one connected component, mutating `chi`
+    /// in place. Kempe chains and augmenting regions never leave the
+    /// component, so components are independent work items.
+    fn repair_component(
         &self,
         g: &Graph,
         uids: &[u64],
         delta: usize,
-        chi: &[usize],
-    ) -> Result<Vec<usize>, EncodeError> {
-        let mut chi = chi.to_vec();
+        chi: &mut [usize],
+        stuck: &[NodeId],
+    ) -> ComponentOutcome {
         let lcl = ProperColoring::new(delta);
-        let stuck: Vec<NodeId> = g.nodes().filter(|&v| chi[v.index()] >= delta).collect();
-        for u in stuck {
+        for &u in stuck {
             if chi[u.index()] < delta {
                 continue; // fixed by an earlier region
             }
             // Fast path: Kempe-chain / shift-path recoloring, the actual
             // Panconesi–Srinivasan move (Section 6.2).
-            if crate::kempe::recolor_vertex(g, &mut chi, u, delta) {
+            if crate::kempe::recolor_vertex(g, chi, u, delta) {
                 continue;
             }
             let mut repaired = false;
@@ -171,30 +170,118 @@ impl DeltaColoringSchema {
                     }
                     Err(CompleteError::NoSolution) => continue, // grow region
                     Err(CompleteError::CapExceeded { cap }) => {
-                        return Err(EncodeError::SearchBudgetExceeded(format!(
-                            "region repair at {u} exceeded {cap} steps"
-                        )))
+                        return ComponentOutcome::Failed(
+                            u.index(),
+                            EncodeError::SearchBudgetExceeded(format!(
+                                "region repair at {u} exceeded {cap} steps"
+                            )),
+                        )
                     }
                 }
             }
             if !repaired {
-                // Global fallback: full search pinned nowhere.
-                let uids_all = uids.to_vec();
-                let (labels, _) = lad_lcl::brute::solve(g, &uids_all, &lcl, self.repair_cap)
-                    .map_err(|e| match e {
-                        CompleteError::NoSolution => {
-                            EncodeError::SolutionDoesNotExist("graph is not Δ-colorable".into())
-                        }
-                        CompleteError::CapExceeded { cap } => EncodeError::SearchBudgetExceeded(
-                            format!("global Δ-coloring search exceeded {cap} steps"),
-                        ),
-                    })?;
-                return Ok(labels);
+                return ComponentOutcome::NeedsGlobalFallback(u.index());
             }
         }
-        debug_assert!(coloring::is_proper_k_coloring(g, &chi, delta));
-        Ok(chi)
+        ComponentOutcome::Completed
     }
+
+    /// Centralized augmenting-region repair: turns `chi` (proper, colors
+    /// `≤ Δ`) into a proper Δ-coloring, changing as few nodes as possible
+    /// regionally.
+    ///
+    /// Stuck nodes are grouped by connected component and the components
+    /// fan out across workers. Every repair move (Kempe chain, augmenting
+    /// region, [`complete`] call) is confined to one component and the
+    /// sequential pass visits stuck nodes in node order, so each worker's
+    /// per-component replay sees exactly the colors the sequential pass
+    /// would; merging takes the *smallest-node-index* special event
+    /// (budget error or global fallback) — precisely the one a sequential
+    /// pass would hit first — making the result bit-identical to the
+    /// sequential repair for every outcome.
+    fn repair_to_delta(
+        &self,
+        g: &Graph,
+        uids: &[u64],
+        delta: usize,
+        chi: &[usize],
+    ) -> Result<Vec<usize>, EncodeError> {
+        let stuck: Vec<NodeId> = g.nodes().filter(|&v| chi[v.index()] >= delta).collect();
+        if stuck.is_empty() {
+            return Ok(chi.to_vec());
+        }
+        // Group stuck nodes by component, preserving node order per group.
+        let (comp_of, comp_count) = traversal::connected_components(g);
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); comp_count];
+        for &u in &stuck {
+            groups[comp_of[u.index()]].push(u);
+        }
+        groups.retain(|grp| !grp.is_empty());
+        let results: Vec<(Vec<usize>, ComponentOutcome)> = par_map(&groups, |_, grp| {
+            let mut local = chi.to_vec();
+            let outcome = self.repair_component(g, uids, delta, &mut local, grp);
+            (local, outcome)
+        });
+        // The first special event in node order is what a sequential pass
+        // would have hit; replay it. Otherwise merge all component diffs.
+        let mut first_event: Option<(usize, usize)> = None; // (node idx, group idx)
+        for (gi, (_, outcome)) in results.iter().enumerate() {
+            let at = match outcome {
+                ComponentOutcome::Completed => continue,
+                ComponentOutcome::NeedsGlobalFallback(at) => *at,
+                ComponentOutcome::Failed(at, _) => *at,
+            };
+            if first_event.is_none_or(|(best, _)| at < best) {
+                first_event = Some((at, gi));
+            }
+        }
+        if let Some((_, gi)) = first_event {
+            match &results[gi].1 {
+                ComponentOutcome::Failed(_, e) => return Err(e.clone()),
+                ComponentOutcome::NeedsGlobalFallback(_) => {
+                    // Global fallback: full search pinned nowhere — it
+                    // ignores `chi` entirely, so replaying it here returns
+                    // exactly what the sequential pass would.
+                    let lcl = ProperColoring::new(delta);
+                    let uids_all = uids.to_vec();
+                    let (labels, _) = lad_lcl::brute::solve(g, &uids_all, &lcl, self.repair_cap)
+                        .map_err(|e| match e {
+                            CompleteError::NoSolution => {
+                                EncodeError::SolutionDoesNotExist("graph is not Δ-colorable".into())
+                            }
+                            CompleteError::CapExceeded { cap } => {
+                                EncodeError::SearchBudgetExceeded(format!(
+                                    "global Δ-coloring search exceeded {cap} steps"
+                                ))
+                            }
+                        })?;
+                    return Ok(labels);
+                }
+                ComponentOutcome::Completed => unreachable!("events are non-Completed"),
+            }
+        }
+        let mut merged = chi.to_vec();
+        for (local, _) in &results {
+            for (i, (&new, &old)) in local.iter().zip(chi.iter()).enumerate() {
+                if new != old {
+                    merged[i] = new;
+                }
+            }
+        }
+        debug_assert!(coloring::is_proper_k_coloring(g, &merged, delta));
+        Ok(merged)
+    }
+}
+
+/// What happened while repairing one connected component.
+enum ComponentOutcome {
+    /// All of the component's stuck nodes were repaired regionally.
+    Completed,
+    /// The stuck node at this index exhausted every region radius; a
+    /// sequential pass would start the global fallback search there.
+    NeedsGlobalFallback(usize),
+    /// The stuck node at this index exceeded the search budget.
+    Failed(usize, EncodeError),
 }
 
 impl AdviceSchema for DeltaColoringSchema {
@@ -263,7 +350,7 @@ impl AdviceSchema for DeltaColoringSchema {
             if bits.len() != width {
                 return Err(DecodeError::malformed(v, "override has the wrong width"));
             }
-            let mut r = BitReader::new(bits);
+            let mut r = BitReader::new(&bits);
             let c = r.read_uint(width).expect("width checked") as usize;
             if c >= delta {
                 return Err(DecodeError::malformed(v, "override color out of range"));

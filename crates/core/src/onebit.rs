@@ -173,7 +173,7 @@ pub fn to_one_bit(
                 payload.len()
             )));
         }
-        let code = encode_path_code(payload);
+        let code = encode_path_code(&payload);
         let walk = greedy_induced_walk(g, uids, v, code.len());
         if walk.len() < code.len() {
             return Err(EncodeError::PlacementFailed(format!(

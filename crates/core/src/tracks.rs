@@ -53,7 +53,7 @@ pub fn multiplex(maps: &[&AdviceMap]) -> AdviceMap {
         for m in maps {
             let t = m.get(v);
             s.push_gamma(t.len() as u64);
-            s.extend(t);
+            s.extend(&t);
         }
         out.set(v, s);
     }
@@ -72,7 +72,7 @@ pub fn demultiplex(map: &AdviceMap, count: usize) -> Option<Vec<AdviceMap>> {
         if s.is_empty() {
             continue;
         }
-        let mut r = BitReader::new(s);
+        let mut r = BitReader::new(&s);
         for track in tracks.iter_mut() {
             let len = r.read_gamma()? as usize;
             let mut t = BitString::new();
@@ -161,7 +161,7 @@ mod tests {
         let a = map(&["101"]);
         let b = map(&["0"]);
         let mux = multiplex(&[&a, &b]);
-        let parts = demultiplex_one(mux.get(NodeId(0)), 2).unwrap();
+        let parts = demultiplex_one(&mux.get(NodeId(0)), 2).unwrap();
         assert_eq!(parts[0].to_string(), "101");
         assert_eq!(parts[1].to_string(), "0");
         // Empty string yields empty tracks.

@@ -123,6 +123,57 @@ impl GraphBuilder {
     }
 }
 
+/// Builds a graph directly from a deduplicated edge list already sorted
+/// lexicographically by `(min, max)` endpoint pair — the exact order
+/// [`GraphBuilder::build`] emits — producing an identical [`Graph`] while
+/// allocating only the graph's own storage (no builder set, no per-node
+/// sort buffers).
+///
+/// Inserting lex-sorted edges leaves every adjacency list already sorted:
+/// a node's smaller neighbors arrive (as `min < v` pairs) in increasing
+/// order before any of its larger neighbors (as `(v, max)` pairs, also
+/// increasing), so no per-list sort pass is needed.
+///
+/// Debug builds assert the input is sorted, deduplicated, self-loop-free,
+/// and in range.
+pub fn from_sorted_edges(n: usize, edges: Vec<(NodeId, NodeId)>) -> Graph {
+    debug_assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "edges must be lex-sorted and deduplicated"
+    );
+    debug_assert!(
+        edges.iter().all(|&(u, v)| u < v && v.index() < n),
+        "edges must be in-range (min, max) pairs without self-loops"
+    );
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, v) in &edges {
+        offsets[u.index() + 1] += 1;
+        offsets[v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let total = offsets[n];
+    let mut neighbors = vec![NodeId(0); total];
+    let mut slot_edges = vec![EdgeId(0); total];
+    // Use `offsets[v]` itself as the fill cursor for v's list, then shift
+    // the array back down one slot instead of cloning a cursor array.
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let e = EdgeId::from_index(i);
+        neighbors[offsets[u.index()]] = v;
+        slot_edges[offsets[u.index()]] = e;
+        offsets[u.index()] += 1;
+        neighbors[offsets[v.index()]] = u;
+        slot_edges[offsets[v.index()]] = e;
+        offsets[v.index()] += 1;
+    }
+    for v in (1..=n).rev() {
+        offsets[v] = offsets[v - 1];
+    }
+    offsets[0] = 0;
+    Graph::from_parts(offsets, neighbors, slot_edges, edges)
+}
+
 /// Builds a graph directly from an edge list over `n` nodes.
 ///
 /// # Panics
@@ -188,6 +239,41 @@ mod tests {
         let g = from_edges(4, [(0, 1), (2, 3), (1, 2)]);
         assert_eq!(g.m(), 3);
         assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_builder_exactly() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (1, vec![]),
+            (2, vec![(0, 1)]),
+            (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            (6, vec![(0, 3), (1, 4), (2, 5), (0, 1), (4, 5)]),
+            // path + chords, deliberately added out of order
+            (
+                8,
+                vec![
+                    (6, 7),
+                    (0, 7),
+                    (2, 3),
+                    (1, 2),
+                    (0, 1),
+                    (3, 6),
+                    (5, 6),
+                    (4, 5),
+                    (3, 4),
+                ],
+            ),
+        ];
+        for (n, list) in cases {
+            let via_builder = from_edges(n, list.iter().copied());
+            let mut sorted: Vec<(NodeId, NodeId)> = list
+                .iter()
+                .map(|&(u, v)| (NodeId(u.min(v)), NodeId(u.max(v))))
+                .collect();
+            sorted.sort_unstable();
+            let direct = from_sorted_edges(n, sorted);
+            assert_eq!(via_builder, direct, "n = {n}");
+        }
     }
 
     #[test]

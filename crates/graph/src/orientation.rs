@@ -107,10 +107,7 @@ impl Orientation {
 
     /// Out-degree of `v` under this orientation.
     pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
-        g.incident_edges(v)
-            .iter()
-            .filter(|&&e| self.is_outgoing(g, e, v))
-            .count()
+        self.outgoing_edges_iter(g, v).count()
     }
 
     /// In-degree of `v` under this orientation.
@@ -118,13 +115,23 @@ impl Orientation {
         g.degree(v) - self.out_degree(g, v)
     }
 
-    /// The outgoing edges of `v`, in `v`'s incident-edge order.
-    pub fn outgoing_edges(&self, g: &Graph, v: NodeId) -> Vec<EdgeId> {
+    /// Iterates the outgoing edges of `v` in `v`'s incident-edge order,
+    /// without allocating. [`outgoing_edges`](Self::outgoing_edges) is the
+    /// collecting convenience wrapper.
+    pub fn outgoing_edges_iter<'a>(
+        &'a self,
+        g: &'a Graph,
+        v: NodeId,
+    ) -> impl Iterator<Item = EdgeId> + 'a {
         g.incident_edges(v)
             .iter()
             .copied()
-            .filter(|&e| self.is_outgoing(g, e, v))
-            .collect()
+            .filter(move |&e| self.is_outgoing(g, e, v))
+    }
+
+    /// The outgoing edges of `v`, in `v`'s incident-edge order.
+    pub fn outgoing_edges(&self, g: &Graph, v: NodeId) -> Vec<EdgeId> {
+        self.outgoing_edges_iter(g, v).collect()
     }
 
     /// Whether every node satisfies `|indeg − outdeg| ≤ 1`
@@ -534,6 +541,19 @@ mod tests {
         let o = EulerPartition::new(&g, &uids(4)).orient_all_forward(&g);
         for v in g.nodes() {
             assert_eq!(o.outgoing_edges(&g, v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn iterator_and_collected_outgoing_edges_agree() {
+        let g = generators::complete(5);
+        let o = EulerPartition::new(&g, &uids(5)).orient_all_forward(&g);
+        for v in g.nodes() {
+            let collected = o.outgoing_edges(&g, v);
+            let iterated: Vec<_> = o.outgoing_edges_iter(&g, v).collect();
+            assert_eq!(collected, iterated);
+            assert_eq!(o.out_degree(&g, v), iterated.len());
+            assert_eq!(o.in_degree(&g, v), g.degree(v) - iterated.len());
         }
     }
 }

@@ -33,23 +33,42 @@ pub struct Ball<In = ()> {
     graph: Graph,
     center: NodeId,
     radius: usize,
-    dist: Vec<usize>,
+    meta: Vec<NodeMeta>,
     uids: Vec<u64>,
     inputs: Vec<In>,
-    global_degree: Vec<usize>,
-    to_global_node: Vec<NodeId>,
     to_global_edge: Vec<EdgeId>,
 }
 
+/// Per-node metadata (global name, BFS distance, true network degree) packed
+/// into one contiguous table. A [`crate::ViewCache`] pins roughly one ball
+/// per node, so one retained allocation here instead of three parallel
+/// `Vec`s is a measurable share of the cold-population cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeMeta {
+    global: NodeId,
+    dist: u32,
+    degree: u32,
+}
+
 /// Reusable per-worker BFS bookkeeping: an epoch-stamped visited/local-index
-/// array sized to the *network*, amortized over every ball a worker gathers.
-/// Replaces the per-ball `HashMap` on the executor hot paths — membership
-/// tests become two array reads and gathering allocates nothing.
+/// array sized to the *network*, amortized over every ball a worker gathers,
+/// plus reusable assembly buffers (edge enumeration, spare membership
+/// storage). Replaces the per-ball `HashMap` on the executor hot paths —
+/// membership tests become two array reads and gathering/assembly allocates
+/// nothing beyond the ball's own retained storage.
 #[derive(Debug)]
 pub(crate) struct Scratch {
     stamp: Vec<u32>,
     local: Vec<u32>,
     epoch: u32,
+    /// Edge-enumeration buffer for [`build_from_members`]: local `(min,
+    /// max)` endpoints plus the global edge id, reused across balls.
+    pairs: Vec<(NodeId, NodeId, EdgeId)>,
+    /// Recycled membership storage: [`BallMembers::gather`] starts from
+    /// this buffer and [`BallMembers::recycle`] returns it, so transient
+    /// memberships (dropped after a fused gather-and-build) stop paying
+    /// grow-from-one reallocation per ball.
+    members_spare: Vec<(NodeId, usize)>,
 }
 
 impl Scratch {
@@ -59,6 +78,18 @@ impl Scratch {
             stamp: vec![0; n],
             local: vec![0; n],
             epoch: 0,
+            pairs: Vec::new(),
+            members_spare: Vec::new(),
+        }
+    }
+
+    /// Grows the scratch to cover an `n`-node network. New entries carry
+    /// stamp 0, which never equals a live epoch, so growing cannot create
+    /// phantom memberships.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.local.resize(n, 0);
         }
     }
 
@@ -103,7 +134,9 @@ impl BallMembers {
     /// [`Ball::collect`].
     pub(crate) fn gather(g: &Graph, center: NodeId, radius: usize, scratch: &mut Scratch) -> Self {
         scratch.begin();
-        let mut members: Vec<(NodeId, usize)> = vec![(center, 0)];
+        let mut members = std::mem::take(&mut scratch.members_spare);
+        members.clear();
+        members.push((center, 0));
         scratch.insert(center, 0);
         let mut head = 0usize;
         while head < members.len() {
@@ -125,6 +158,15 @@ impl BallMembers {
     /// The radius this membership is complete to.
     pub(crate) fn radius(&self) -> usize {
         self.radius
+    }
+
+    /// Returns this membership's storage to `scratch` for the next
+    /// [`BallMembers::gather`] — call instead of dropping when the
+    /// membership is not retained.
+    pub(crate) fn recycle(self, scratch: &mut Scratch) {
+        if self.members.capacity() > scratch.members_spare.capacity() {
+            scratch.members_spare = self.members;
+        }
     }
 
     /// Grows the membership to `new_radius` by continuing the BFS from the
@@ -181,59 +223,108 @@ impl BallMembers {
         for (i, &(v, _)) in prefix.iter().enumerate() {
             scratch.insert(v, i as u32);
         }
-        build_from_members(net, prefix, r, |u| scratch.get(u))
+        let Scratch {
+            stamp,
+            local,
+            epoch,
+            pairs,
+            ..
+        } = scratch;
+        let epoch = *epoch;
+        build_from_members(
+            net,
+            prefix,
+            r,
+            |u| (stamp[u.index()] == epoch).then(|| NodeId(local[u.index()])),
+            pairs,
+        )
+    }
+
+    /// Materializes the full-radius ball directly from the stamps a just-run
+    /// [`BallMembers::gather`] left in `scratch`, skipping the epoch bump and
+    /// re-stamping pass [`BallMembers::build`] pays. Only valid immediately
+    /// after `gather` with the same scratch (no intervening `begin`).
+    pub(crate) fn build_current<In: Clone>(
+        &self,
+        net: &Network<In>,
+        scratch: &mut Scratch,
+    ) -> Ball<In> {
+        let Scratch {
+            stamp,
+            local,
+            epoch,
+            pairs,
+            ..
+        } = scratch;
+        let epoch = *epoch;
+        build_from_members(
+            net,
+            &self.members,
+            self.radius,
+            |u| (stamp[u.index()] == epoch).then(|| NodeId(local[u.index()])),
+            pairs,
+        )
     }
 }
 
-/// Shared ball constructor: builds the view subgraph, identifier/input/
-/// degree tables, and global-name maps from a BFS membership. Both
-/// [`Ball::collect`] and the cached/incremental paths funnel through this,
-/// which is what makes their outputs structurally identical.
+/// Shared ball constructor for the scratch-backed paths: builds the view
+/// subgraph, per-node tables, and global-name maps from a BFS membership
+/// with no transient allocation — edge enumeration reuses `pairs` and the
+/// subgraph CSR is assembled directly from the sorted edge list
+/// ([`lad_graph::builder::from_sorted_edges`]). The sequential reference
+/// ([`Ball::collect_reference`]) keeps its own `GraphBuilder`-based copy of
+/// this assembly, so the two executor paths remain independently
+/// implemented and the differential tests compare real alternatives.
 fn build_from_members<In: Clone>(
     net: &Network<In>,
     members: &[(NodeId, usize)],
     radius: usize,
     local_of: impl Fn(NodeId) -> Option<NodeId>,
+    pairs: &mut Vec<(NodeId, NodeId, EdgeId)>,
 ) -> Ball<In> {
     let g = net.graph();
-    let to_global_node: Vec<NodeId> = members.iter().map(|&(v, _)| v).collect();
-    let dist: Vec<usize> = members.iter().map(|&(_, d)| d).collect();
-    let mut b = GraphBuilder::new(members.len());
-    let mut edge_pairs = Vec::new();
+    // An edge is known exactly when an endpoint lies at distance < r.
+    // Distances are nondecreasing in local index (BFS order), so the
+    // smaller endpoint of every known edge is itself at distance < r:
+    // enumerating from the smaller endpoint visits each edge exactly once,
+    // with no dedup set. Either endpoint's adjacency slot names the same
+    // global edge, so the recorded id matches the reference path's.
+    pairs.clear();
     for (li, &(v, d)) in members.iter().enumerate() {
         if d == radius {
-            continue; // only edges with an endpoint at distance < r are known
+            break; // frontier suffix: edges among frontier nodes are unknown
         }
+        let lv = NodeId::from_index(li);
         for (&u, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
             if let Some(lu) = local_of(u) {
-                let lv = NodeId::from_index(li);
-                if b.add_edge(lv, lu) {
-                    edge_pairs.push(((lv.min(lu), lv.max(lu)), e));
+                if lv < lu {
+                    pairs.push((lv, lu, e));
                 }
             }
         }
     }
-    // The builder sorts edges by endpoint pair; replicate that order for
-    // the global-edge map.
-    edge_pairs.sort_by_key(|&(pair, _)| pair);
-    let to_global_edge: Vec<EdgeId> = edge_pairs.into_iter().map(|(_, e)| e).collect();
-    let graph = b.build();
+    pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    let edges: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+    let to_global_edge: Vec<EdgeId> = pairs.iter().map(|&(_, _, e)| e).collect();
+    let graph = lad_graph::builder::from_sorted_edges(members.len(), edges);
     debug_assert_eq!(graph.m(), to_global_edge.len());
-    let uids = to_global_node.iter().map(|&v| net.uid(v)).collect();
-    let inputs = to_global_node
+    let meta = members
         .iter()
-        .map(|&v| net.input(v).clone())
+        .map(|&(v, d)| NodeMeta {
+            global: v,
+            dist: d as u32,
+            degree: g.degree(v) as u32,
+        })
         .collect();
-    let global_degree = to_global_node.iter().map(|&v| g.degree(v)).collect();
+    let uids = members.iter().map(|&(v, _)| net.uid(v)).collect();
+    let inputs = members.iter().map(|&(v, _)| net.input(v).clone()).collect();
     Ball {
         graph,
         center: NodeId(0),
         radius,
-        dist,
+        meta,
         uids,
         inputs,
-        global_degree,
-        to_global_node,
         to_global_edge,
     }
 }
@@ -241,12 +332,35 @@ fn build_from_members<In: Clone>(
 impl<In: Clone> Ball<In> {
     /// Materializes the radius-`r` view of `center` in `net`.
     ///
-    /// Work and memory are proportional to the *ball*, not the graph, so
-    /// running a constant-radius decoder at every node of a large network
-    /// stays near-linear overall. (The executor hot paths use a reusable
-    /// `Scratch` instead of this per-call `HashMap`; both produce
-    /// identical balls.)
+    /// Work and memory are proportional to the *ball*, not the graph: the
+    /// bounded BFS runs over an epoch-stamped `Scratch` kept per thread,
+    /// so membership tests are two array reads and repeated calls allocate
+    /// nothing beyond the ball itself. A deliberately independent
+    /// `HashMap` implementation (`collect_reference`, crate-private) is
+    /// what the differential tests compare against.
     pub fn collect(net: &Network<In>, center: NodeId, radius: usize) -> Self {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new(0));
+        }
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.ensure(net.graph().n());
+            let members = BallMembers::gather(net.graph(), center, radius, &mut scratch);
+            let ball = members.build_current(net, &mut scratch);
+            members.recycle(&mut scratch);
+            ball
+        })
+    }
+
+    /// The original per-call `HashMap` bounded BFS, kept as a fully
+    /// self-contained, independent reference implementation: the sequential
+    /// reference executor ([`crate::run_local`]) builds its views through
+    /// this path — per-ball map bookkeeping, `GraphBuilder` subgraph
+    /// assembly and all — so the differential harness compares two
+    /// genuinely different codepaths against the scratch-backed
+    /// [`build_from_members`] pipeline.
+    pub(crate) fn collect_reference(net: &Network<In>, center: NodeId, radius: usize) -> Self {
         let g = net.graph();
         // Bounded BFS with ball-sized bookkeeping.
         let mut local_of: std::collections::HashMap<NodeId, NodeId> =
@@ -267,7 +381,49 @@ impl<In: Clone> Ball<In> {
                 }
             }
         }
-        build_from_members(net, &members, radius, |u| local_of.get(&u).copied())
+        // Dedup-set subgraph assembly, structurally identical to (but
+        // implemented independently of) the scratch path's sorted-edge CSR
+        // construction.
+        let mut b = GraphBuilder::new(members.len());
+        let mut edge_pairs = Vec::new();
+        for (li, &(v, d)) in members.iter().enumerate() {
+            if d == radius {
+                continue; // only edges with an endpoint at distance < r are known
+            }
+            for (&u, &e) in g.neighbors(v).iter().zip(g.incident_edges(v)) {
+                if let Some(&lu) = local_of.get(&u) {
+                    let lv = NodeId::from_index(li);
+                    if b.add_edge(lv, lu) {
+                        edge_pairs.push(((lv.min(lu), lv.max(lu)), e));
+                    }
+                }
+            }
+        }
+        // The builder sorts edges by endpoint pair; replicate that order
+        // for the global-edge map.
+        edge_pairs.sort_by_key(|&(pair, _)| pair);
+        let to_global_edge: Vec<EdgeId> = edge_pairs.iter().map(|&(_, e)| e).collect();
+        let graph = b.build();
+        debug_assert_eq!(graph.m(), to_global_edge.len());
+        let meta = members
+            .iter()
+            .map(|&(v, d)| NodeMeta {
+                global: v,
+                dist: d as u32,
+                degree: g.degree(v) as u32,
+            })
+            .collect();
+        let uids = members.iter().map(|&(v, _)| net.uid(v)).collect();
+        let inputs = members.iter().map(|&(v, _)| net.input(v).clone()).collect();
+        Ball {
+            graph,
+            center: NodeId(0),
+            radius,
+            meta,
+            uids,
+            inputs,
+            to_global_edge,
+        }
     }
 }
 
@@ -296,17 +452,22 @@ impl<In> Ball<In> {
         assert!(n > 0 && dist[0] == 0, "center must be local index 0");
         assert!(dist.len() == n && uids.len() == n && inputs.len() == n);
         assert_eq!(global_degree.len(), n);
-        let to_global_node = graph.nodes().collect();
+        let meta = graph
+            .nodes()
+            .map(|v| NodeMeta {
+                global: v,
+                dist: dist[v.index()] as u32,
+                degree: global_degree[v.index()] as u32,
+            })
+            .collect();
         let to_global_edge = graph.edge_ids().collect();
         Ball {
             graph,
             center: NodeId(0),
             radius,
-            dist,
+            meta,
             uids,
             inputs,
-            global_degree,
-            to_global_node,
             to_global_edge,
         }
     }
@@ -333,7 +494,7 @@ impl<In> Ball<In> {
 
     /// Distance from the center to a local node.
     pub fn dist(&self, local: NodeId) -> usize {
-        self.dist[local.index()]
+        self.meta[local.index()].dist as usize
     }
 
     /// The unique identifier of a local node.
@@ -355,15 +516,15 @@ impl<In> Ball<In> {
     /// The *true* degree of a local node in the underlying network (nodes
     /// announce their degree, so this is known even at the frontier).
     pub fn global_degree(&self, local: NodeId) -> usize {
-        self.global_degree[local.index()]
+        self.meta[local.index()].degree as usize
     }
 
     /// Whether the view contains *all* edges of `local` — true exactly when
     /// `dist(local) < radius`. Only then may pairing/slot computations be
     /// performed at `local`.
     pub fn knows_all_edges_of(&self, local: NodeId) -> bool {
-        self.dist[local.index()] < self.radius
-            && self.graph.degree(local) == self.global_degree(local)
+        let m = &self.meta[local.index()];
+        (m.dist as usize) < self.radius && self.graph.degree(local) == m.degree as usize
     }
 
     /// The local node carrying identifier `uid`, if present.
@@ -376,7 +537,7 @@ impl<In> Ball<In> {
 
     /// The global name of a local node (for addressing outputs only).
     pub fn global_node(&self, local: NodeId) -> NodeId {
-        self.to_global_node[local.index()]
+        self.meta[local.index()].global
     }
 
     /// The global name of a local edge (for addressing outputs only).
@@ -386,9 +547,9 @@ impl<In> Ball<In> {
 
     /// The local node corresponding to a global node, if inside the view.
     pub fn local_node(&self, global: NodeId) -> Option<NodeId> {
-        self.to_global_node
+        self.meta
             .iter()
-            .position(|&v| v == global)
+            .position(|m| m.global == global)
             .map(NodeId::from_index)
     }
 }
@@ -462,6 +623,46 @@ mod tests {
         let ball = Ball::collect(&net, NodeId(3), 1);
         let local2 = ball.local_node(NodeId(2)).unwrap();
         assert_eq!(*ball.input(local2), 7);
+    }
+
+    #[test]
+    fn scratch_and_reference_collect_agree() {
+        // `collect` (epoch-stamped scratch) and `collect_reference`
+        // (HashMap) are independent implementations; they must produce
+        // structurally identical balls, including discovery order.
+        for g in [
+            generators::cycle(12),
+            generators::path(9),
+            generators::grid2d(4, 5, true),
+            generators::complete(6),
+        ] {
+            let net = Network::with_identity_ids(g);
+            for v in net.graph().nodes() {
+                for r in 0..4 {
+                    assert_eq!(
+                        Ball::collect(&net, v, r),
+                        Ball::collect_reference(&net, v, r),
+                        "node {v:?} radius {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_local_scratch_survives_network_size_changes() {
+        // Interleave collects on networks of different sizes to exercise
+        // `Scratch::ensure` growth on the shared thread-local scratch.
+        let small = Network::with_identity_ids(generators::cycle(5));
+        let big = Network::with_identity_ids(generators::grid2d(8, 8, false));
+        for r in 0..3 {
+            let a = Ball::collect(&small, NodeId(1), r);
+            let b = Ball::collect(&big, NodeId(9), r + 1);
+            let c = Ball::collect(&small, NodeId(4), r);
+            assert_eq!(a, Ball::collect_reference(&small, NodeId(1), r));
+            assert_eq!(b, Ball::collect_reference(&big, NodeId(9), r + 1));
+            assert_eq!(c, Ball::collect_reference(&small, NodeId(4), r));
+        }
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! * **Reuse across calls**: the first request for `(v, r)` materializes the
 //!   ball and stores it behind an [`Arc`]; every later request (same run,
 //!   later phase, other thread) is a clone of the `Arc`.
-//! * **Incremental expansion**: per node the cache keeps the BFS membership
-//!   at the largest radius seen so far. A request for a bigger radius
-//!   *continues* that BFS from its frontier instead of restarting from the
-//!   center, and a request for a smaller radius takes a prefix — BFS
-//!   discovery order makes radius-`r` membership a prefix of radius-`r+1`
-//!   membership.
+//! * **Incremental expansion**: once a node has been asked for a second
+//!   distinct radius, the cache keeps its BFS membership at the largest
+//!   radius seen so far. A request for a bigger radius *continues* that
+//!   BFS from its frontier instead of restarting from the center, and a
+//!   request for a smaller radius takes a prefix — BFS discovery order
+//!   makes radius-`r` membership a prefix of radius-`r+1` membership.
+//!   (A node's *first* touch deliberately skips this bookkeeping: most
+//!   nodes are served at exactly one radius, and a cold population then
+//!   retains exactly one ball per node and nothing else.)
 //!
 //! Cached balls are **bit-identical** to what [`Ball::collect`] produces
 //! (`crates/runtime/tests/equivalence.rs` enforces this differentially):
@@ -34,17 +37,43 @@ use std::sync::{Arc, Mutex};
 
 /// Per-node cache entry: the widest BFS membership seen plus materialized
 /// balls by radius.
+///
+/// The first materialized ball lives inline: the overwhelmingly common
+/// access pattern — every node touched at exactly one radius per phase —
+/// then never allocates a `BTreeMap` node, and a cold population's only
+/// retained allocation per slot is the ball itself. Membership bookkeeping
+/// (`members`) is likewise deferred to a node's *second* distinct radius;
+/// see [`ViewCache::ball_with_scratch`].
 #[derive(Debug)]
 struct Slot<In> {
     members: Option<BallMembers>,
-    balls: BTreeMap<usize, Arc<Ball<In>>>,
+    first: Option<(usize, Arc<Ball<In>>)>,
+    more: BTreeMap<usize, Arc<Ball<In>>>,
 }
 
 impl<In> Default for Slot<In> {
     fn default() -> Self {
         Slot {
             members: None,
-            balls: BTreeMap::new(),
+            first: None,
+            more: BTreeMap::new(),
+        }
+    }
+}
+
+impl<In> Slot<In> {
+    fn lookup(&self, radius: usize) -> Option<&Arc<Ball<In>>> {
+        match &self.first {
+            Some((r, ball)) if *r == radius => Some(ball),
+            _ => self.more.get(&radius),
+        }
+    }
+
+    fn store(&mut self, radius: usize, ball: &Arc<Ball<In>>) {
+        if self.first.is_none() {
+            self.first = Some((radius, Arc::clone(ball)));
+        } else {
+            self.more.insert(radius, Arc::clone(ball));
         }
     }
 }
@@ -129,28 +158,50 @@ impl<In: Clone> ViewCache<In> {
         let mut slot = self.slots[center.index()]
             .lock()
             .expect("view-cache slot poisoned");
-        if let Some(ball) = slot.balls.get(&radius) {
+        if let Some(ball) = slot.lookup(radius) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(ball);
         }
         let g = net.graph();
-        match &mut slot.members {
-            None => {
-                slot.members = Some(BallMembers::gather(g, center, radius, scratch));
+        if slot.members.is_none() {
+            // No membership tracked yet: gather and build in one fused
+            // pass — `build_current` reuses the stamps `gather` just
+            // wrote, so no re-stamping pass over the membership is paid.
+            let members = BallMembers::gather(g, center, radius, scratch);
+            let ball = Arc::new(members.build_current(net, scratch));
+            if slot.first.is_none() {
+                // Cold first touch. The membership is *not* stored: most
+                // nodes are only ever asked for one radius, and skipping
+                // the bookkeeping keeps a cold population's retained
+                // memory at exactly one ball per node. A second distinct
+                // radius re-gathers once and starts the incremental
+                // bookkeeping below.
+                members.recycle(scratch);
+                slot.first = Some((radius, Arc::clone(&ball)));
                 self.misses.fetch_add(1, Ordering::Relaxed);
-            }
-            Some(m) if m.radius() < radius => {
-                m.expand(g, radius, scratch);
+            } else {
+                // Second distinct radius: the node is evidently served at
+                // several radii, so keep the membership from here on.
+                // Classified as an expansion — the request shape (slot
+                // already populated) is what the counters describe, not
+                // the work done.
+                slot.members = Some(members);
+                slot.store(radius, &ball);
                 self.expansions.fetch_add(1, Ordering::Relaxed);
             }
-            Some(_) => {
-                // Prefix of an already-gathered wider membership.
-                self.expansions.fetch_add(1, Ordering::Relaxed);
-            }
+            return ball;
         }
+        let m = slot.members.as_mut().expect("members checked above");
+        if m.radius() < radius {
+            m.expand(g, radius, scratch);
+        }
+        // Larger radius: BFS continued from the stored frontier; smaller:
+        // prefix of an already-gathered wider membership. Both are
+        // expansions.
+        self.expansions.fetch_add(1, Ordering::Relaxed);
         let members = slot.members.as_ref().expect("members just ensured");
         let ball = Arc::new(members.build(net, radius, scratch));
-        slot.balls.insert(radius, Arc::clone(&ball));
+        slot.store(radius, &ball);
         ball
     }
 
@@ -168,7 +219,8 @@ impl<In: Clone> ViewCache<In> {
         for slot in &self.slots {
             let mut slot = slot.lock().expect("view-cache slot poisoned");
             slot.members = None;
-            slot.balls.clear();
+            slot.first = None;
+            slot.more.clear();
         }
     }
 }

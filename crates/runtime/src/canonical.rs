@@ -27,24 +27,68 @@ impl CanonicalKey {
     }
 }
 
+/// Reusable workspace for [`canonicalize_with`]: the rank/order/index
+/// tables and edge list canonicalization allocates are kept and reused
+/// across calls, so repeated keying (cache keys, [`crate::LookupTable`]
+/// training, ETH simulation) allocates only the output words.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    by_uid: Vec<NodeId>,
+    rank: Vec<u64>,
+    order: Vec<NodeId>,
+    canon_index: Vec<u64>,
+    edges: Vec<(u64, u64)>,
+}
+
+impl CanonScratch {
+    /// An empty workspace; buffers grow to the largest ball seen.
+    pub fn new() -> Self {
+        CanonScratch::default()
+    }
+}
+
 /// Canonicalizes a ball. `input_tag` maps each node's input to a `u64`
 /// (inputs must be finitely tagged for the key to be meaningful); pass
 /// `|_| 0` for unit inputs.
+///
+/// Uses a thread-local [`CanonScratch`]; use [`canonicalize_with`] to
+/// control the workspace explicitly.
 pub fn canonicalize<In>(ball: &Ball<In>, input_tag: impl Fn(&In) -> u64) -> CanonicalKey {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<CanonScratch> = RefCell::new(CanonScratch::new());
+    }
+    SCRATCH.with(|cell| canonicalize_with(ball, input_tag, &mut cell.borrow_mut()))
+}
+
+/// [`canonicalize`] with a caller-provided reusable workspace.
+pub fn canonicalize_with<In>(
+    ball: &Ball<In>,
+    input_tag: impl Fn(&In) -> u64,
+    scratch: &mut CanonScratch,
+) -> CanonicalKey {
     let g = ball.graph();
     let n = g.n();
     // Ranks of identifiers within the ball: the only identifier information
     // an order-invariant algorithm may use.
-    let mut by_uid: Vec<NodeId> = g.nodes().collect();
+    let by_uid = &mut scratch.by_uid;
+    by_uid.clear();
+    by_uid.extend(g.nodes());
     by_uid.sort_by_key(|&v| ball.uid(v));
-    let mut rank = vec![0u64; n];
+    let rank = &mut scratch.rank;
+    rank.clear();
+    rank.resize(n, 0);
     for (r, &v) in by_uid.iter().enumerate() {
         rank[v.index()] = r as u64;
     }
     // Canonical node order: by (distance from center, rank).
-    let mut order: Vec<NodeId> = g.nodes().collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(g.nodes());
     order.sort_by_key(|&v| (ball.dist(v), rank[v.index()]));
-    let mut canon_index = vec![0u64; n];
+    let canon_index = &mut scratch.canon_index;
+    canon_index.clear();
+    canon_index.resize(n, 0);
     for (ci, &v) in order.iter().enumerate() {
         canon_index[v.index()] = ci as u64;
     }
@@ -52,22 +96,21 @@ pub fn canonicalize<In>(ball: &Ball<In>, input_tag: impl Fn(&In) -> u64) -> Cano
     words.push(n as u64);
     words.push(ball.radius() as u64);
     words.push(canon_index[ball.center().index()]);
-    for &v in &order {
+    for &v in order.iter() {
         words.push(ball.dist(v) as u64);
         words.push(rank[v.index()]);
         words.push(ball.global_degree(v) as u64);
         words.push(input_tag(ball.input(v)));
     }
-    let mut edges: Vec<(u64, u64)> = g
-        .edges()
-        .map(|(_, (u, v))| {
-            let (a, b) = (canon_index[u.index()], canon_index[v.index()]);
-            (a.min(b), a.max(b))
-        })
-        .collect();
+    let edges = &mut scratch.edges;
+    edges.clear();
+    edges.extend(g.edges().map(|(_, (u, v))| {
+        let (a, b) = (canon_index[u.index()], canon_index[v.index()]);
+        (a.min(b), a.max(b))
+    }));
     edges.sort_unstable();
     words.push(edges.len() as u64);
-    for (a, b) in edges {
+    for &(a, b) in edges.iter() {
         words.push(a);
         words.push(b);
     }
@@ -131,6 +174,22 @@ mod tests {
         let ka = canonicalize(&Ball::collect(&a, NodeId(0), 1), |&x| x as u64);
         let kb = canonicalize(&Ball::collect(&b, NodeId(0), 1), |&x| x as u64);
         assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let net = Network::with_identity_ids(generators::grid2d(4, 4, true));
+        let mut scratch = CanonScratch::new();
+        for v in net.graph().nodes() {
+            for r in 0..3 {
+                let ball = Ball::collect(&net, v, r);
+                assert_eq!(
+                    canonicalize_with(&ball, |_| 0, &mut scratch),
+                    canonicalize(&ball, |_| 0),
+                    "node {v:?} radius {r}"
+                );
+            }
+        }
     }
 
     #[test]

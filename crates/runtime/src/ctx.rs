@@ -10,7 +10,8 @@ use std::sync::Arc;
 /// Where a context materializes its views from. All three sources produce
 /// bit-identical balls; they differ only in what work is amortized.
 enum ViewSource<'a, In> {
-    /// Fresh `Ball::collect` per request — the reference implementation.
+    /// Fresh `Ball::collect_reference` per request — the independent
+    /// `HashMap`-based implementation, kept as the differential baseline.
     Direct,
     /// Worker-local BFS scratch plus a per-node membership memo, so
     /// adaptive decoders growing `r` by one expand the previous BFS
@@ -101,7 +102,7 @@ impl<'a, In: Clone> NodeCtx<'a, In> {
     pub fn ball(&self, r: usize) -> Ball<In> {
         self.note_radius(r);
         match &self.source {
-            ViewSource::Direct => Ball::collect(self.net, self.node, r),
+            ViewSource::Direct => Ball::collect_reference(self.net, self.node, r),
             ViewSource::Scratch(scratch) => {
                 let mut scratch = scratch.borrow_mut();
                 let mut memo = self.memo.borrow_mut();

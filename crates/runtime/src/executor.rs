@@ -113,6 +113,26 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.map_or(0, |t| t.max(1)), Ordering::SeqCst);
 }
 
+/// The explicitly configured worker count (feature gate, override,
+/// `LAD_THREADS`), or `None` when selection should be automatic.
+fn configured_threads() -> Option<usize> {
+    if cfg!(not(feature = "parallel")) {
+        return Some(1);
+    }
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o != 0 {
+        return Some(o);
+    }
+    if let Ok(s) = std::env::var("LAD_THREADS") {
+        if let Ok(t) = s.parse::<usize>() {
+            if t >= 1 {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
 /// The number of worker threads [`run_local_par`] would use on an `n`-node
 /// network, resolved in order:
 ///
@@ -122,24 +142,60 @@ pub fn set_thread_override(threads: Option<usize>) {
 /// 4. `1` when `n` is too small to amortize thread spawns;
 /// 5. [`std::thread::available_parallelism`].
 pub fn effective_parallelism(n: usize) -> usize {
-    if cfg!(not(feature = "parallel")) {
-        return 1;
-    }
-    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
-    if o != 0 {
-        return o;
-    }
-    if let Ok(s) = std::env::var("LAD_THREADS") {
-        if let Ok(t) = s.parse::<usize>() {
-            if t >= 1 {
-                return t;
-            }
-        }
+    if let Some(t) = configured_threads() {
+        return t;
     }
     if n < PAR_MIN_NODES {
         return 1;
     }
     std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Applies `f` to each item across worker threads, returning outputs in
+/// item order — the fan-out primitive the centralized encoders use for
+/// per-trail, per-cluster, and per-network work.
+///
+/// Items are split into contiguous chunks (one scoped thread each), so a
+/// chunk's items run in index order and outputs land in index-addressed
+/// slots: results never depend on scheduling. Thread count resolves like
+/// [`effective_parallelism`] except there is no minimum item count —
+/// encoder work items are coarse (a whole Euler trail, a whole training
+/// network), unlike per-node decoder calls. Runs sequentially without the
+/// `parallel` feature.
+pub fn par_map<T, U>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+{
+    let n = items.len();
+    let threads = configured_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .min(n.max(1));
+    if !worth_spawning(n, threads) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut outs: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
+    let chunk_len = n.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let mut rest = &mut outs[..];
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+            start += take;
+        }
+    });
+    outs.into_iter()
+        .map(|o| o.expect("every chunk ran to completion"))
+        .collect()
 }
 
 /// Runs `algo` independently at every node, returning per-node outputs and
@@ -593,6 +649,26 @@ mod tests {
         );
         set_thread_override(None);
         assert_eq!(effective_parallelism(4), 1); // below the small-n cutoff
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(
+            par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            }),
+            expect
+        );
+        for threads in [1, 2, 3, 8] {
+            set_thread_override(Some(threads));
+            assert_eq!(par_map(&items, |_, &x| x * x), expect, "threads {threads}");
+        }
+        set_thread_override(None);
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(par_map(&empty, |_, &x: &usize| x), empty);
     }
 
     #[test]

@@ -71,10 +71,10 @@ pub mod transport;
 
 pub use ball::Ball;
 pub use cache::{CacheStats, ViewCache};
-pub use canonical::CanonicalKey;
+pub use canonical::{canonicalize, canonicalize_with, CanonScratch, CanonicalKey};
 pub use ctx::NodeCtx;
 pub use executor::{
-    effective_parallelism, run_local, run_local_cached, run_local_fallible,
+    effective_parallelism, par_map, run_local, run_local_cached, run_local_fallible,
     run_local_fallible_cached, run_local_fallible_par, run_local_fallible_par_cached,
     run_local_fallible_par_with, run_local_par, run_local_par_cached, run_local_par_with,
     set_thread_override, RoundStats,

@@ -13,7 +13,7 @@
 
 use crate::ball::Ball;
 use crate::canonical::{canonicalize, CanonicalKey};
-use crate::executor::run_local_par;
+use crate::executor::{effective_parallelism, par_map};
 use crate::network::Network;
 use std::collections::HashMap;
 use std::fmt;
@@ -85,9 +85,11 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     }
 
     /// Trains a table by running `algo` (restricted to radius-`radius`
-    /// views) on each training network. Observation gathering runs through
-    /// the parallel executor; observations are *recorded* in node order per
-    /// network, so which conflict is reported is deterministic.
+    /// views) on each training network. Observation gathering fans out
+    /// *across networks* via [`crate::par_map`] (training sets are many
+    /// small witness networks, so per-network parallelism has nothing to
+    /// grab); observations are *recorded* sequentially in network × node
+    /// order, so which conflict is reported is deterministic.
     ///
     /// # Errors
     ///
@@ -101,14 +103,27 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     where
         Out: Send,
     {
-        let mut t = LookupTable::new(radius);
-        for net in training {
-            let (pairs, _) = run_local_par(net, |ctx| {
+        let observe_net = |net: &Network<In>, inner_threads: usize| {
+            let (pairs, _) = crate::executor::run_local_par_with(net, inner_threads, |ctx| {
                 let ball = ctx.ball(radius);
                 let key = canonicalize(&ball, input_tag);
                 let out = algo(&ball);
                 (key, out)
             });
+            pairs
+        };
+        let per_net: Vec<Vec<(CanonicalKey, Out)>> = if training.len() > 1 {
+            // Outer fan-out: one work item per network, each run
+            // sequentially inside its worker to avoid nested spawns.
+            par_map(training, |_, net| observe_net(net, 1))
+        } else {
+            training
+                .iter()
+                .map(|net| observe_net(net, effective_parallelism(net.graph().n())))
+                .collect()
+        };
+        let mut t = LookupTable::new(radius);
+        for pairs in per_net {
             for (key, out) in pairs {
                 t.observe(key, out)?;
             }

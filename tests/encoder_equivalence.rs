@@ -1,0 +1,361 @@
+//! Encoder-level differential equivalence: the parallel encoders
+//! (balanced orientation, cluster coloring, Δ-coloring, lookup-table
+//! training) must be **bit-identical** to the sequential algorithms they
+//! replaced, under every worker-thread count.
+//!
+//! Two independent oracles are used:
+//!
+//! 1. **Frozen seed encoders** — the pre-parallelization algorithms for
+//!    the balanced-orientation and cluster-coloring schemas, reimplemented
+//!    here verbatim against the public API (sequential trail loop;
+//!    full-graph Voronoi over all centers). Any algorithmic drift in the
+//!    shipped encoders — trail merge order, the bounded-BFS cluster
+//!    assignment — shows up as a bit difference.
+//! 2. **Thread-count invariance** — encoding under overrides {1, 2, 5,
+//!    auto} must produce identical [`AdviceMap`]s and [`AdviceStats`];
+//!    one worker *is* the sequential composition, so invariance extends
+//!    the seed proof to every thread count.
+//!
+//! The suite runs under both feature configurations in CI (`parallel` on
+//! and off); with the feature off the overrides are inert and the tests
+//! degenerate to seed-equality, which must still hold.
+//!
+//! `set_thread_override` is process-global, so tests serialize on a mutex.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use local_advice::core::advice::AdviceMap;
+use local_advice::core::balanced::{
+    cycle_canonical_forward, encode_records, open_canonical_forward, AnchorRecord,
+    BalancedOrientationSchema,
+};
+use local_advice::core::bits::BitString;
+use local_advice::core::cluster_coloring::ClusterColoringSchema;
+use local_advice::core::delta_coloring::DeltaColoringSchema;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::graph::orientation::{slot_edges, slot_of};
+use local_advice::graph::{
+    coloring, generators, ruling, traversal, EulerPartition, Graph, GraphBuilder, IdAssignment,
+    NodeId, Trail,
+};
+use local_advice::runtime::{set_thread_override, Ball, LookupTable, Network};
+
+/// Serializes tests that mutate the process-global thread override.
+fn override_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn sparse_ids(g: Graph, seed: u64) -> Network {
+    let n = g.n();
+    let space = (n as u64).pow(2).max(16);
+    Network::with_ids(g, IdAssignment::random_sparse(n, space, seed))
+}
+
+/// Generator grid: connected families with distinct trail/cluster shapes.
+fn grid_of_networks(seed: u64) -> Vec<(String, Network)> {
+    vec![
+        ("cycle-96".into(), sparse_ids(generators::cycle(96), seed)),
+        ("path-97".into(), sparse_ids(generators::path(97), seed)),
+        (
+            "grid-8x8".into(),
+            sparse_ids(generators::grid2d(8, 8, true), seed),
+        ),
+        (
+            "rr-64-4".into(),
+            sparse_ids(generators::random_regular(64, 4, seed), seed ^ 0x9e37),
+        ),
+        (
+            "tree-3-3".into(),
+            sparse_ids(generators::balanced_tree(3, 3), seed),
+        ),
+    ]
+}
+
+const THREAD_GRID: [Option<usize>; 4] = [Some(1), Some(2), Some(5), None];
+const SEEDS: [u64; 3] = [7, 1234, 987654321];
+
+// ---------------------------------------------------------------------------
+// Frozen seed encoders (pre-parallelization algorithms, verbatim).
+// ---------------------------------------------------------------------------
+
+fn anchor_positions(trail: &Trail, spacing: usize) -> Vec<usize> {
+    let len = trail.len();
+    if trail.closed {
+        (0..len).step_by(spacing).collect()
+    } else {
+        (1..len).step_by(spacing).collect()
+    }
+}
+
+fn position_info(
+    trail: &Trail,
+    i: usize,
+) -> (
+    NodeId,
+    local_advice::graph::EdgeId,
+    local_advice::graph::EdgeId,
+) {
+    let len = trail.len();
+    if i == 0 {
+        assert!(trail.closed, "open trails have no slot at position 0");
+        (trail.nodes[0], trail.edges[len - 1], trail.edges[0])
+    } else {
+        (trail.nodes[i], trail.edges[i - 1], trail.edges[i])
+    }
+}
+
+fn choose_direction(trail: &Trail, uids: &[u64]) -> (bool, bool) {
+    if trail.closed {
+        let seq: Vec<u64> = trail.nodes[..trail.len()]
+            .iter()
+            .map(|v| uids[v.index()])
+            .collect();
+        match cycle_canonical_forward(&seq) {
+            Some(forward) => (forward, false),
+            None => (true, true),
+        }
+    } else {
+        let seq: Vec<u64> = trail.nodes.iter().map(|v| uids[v.index()]).collect();
+        match open_canonical_forward(&seq) {
+            Some(forward) => (forward, false),
+            None => (true, true),
+        }
+    }
+}
+
+/// The seed balanced-orientation encoder: one sequential pass over the
+/// Euler partition's trails, records pushed in trail order.
+fn seed_balanced_encode(schema: &BalancedOrientationSchema, net: &Network) -> AdviceMap {
+    let g = net.graph();
+    let uids = net.uids();
+    let ep = EulerPartition::new(g, uids);
+    let mut records: Vec<Vec<AnchorRecord>> = vec![Vec::new(); g.n()];
+    for trail in ep.trails() {
+        let (forward, force_anchor) = choose_direction(trail, uids);
+        if trail.len() <= schema.short_threshold && !force_anchor {
+            continue;
+        }
+        for i in anchor_positions(trail, schema.anchor_spacing) {
+            let (w, arrive, leave) = position_info(trail, i);
+            let slot = slot_of(g, uids, w, arrive).expect("consecutive trail edges share a slot");
+            let (first, _second) = slot_edges(g, uids, w, slot);
+            let enters_via = if forward { arrive } else { leave };
+            records[w.index()].push(AnchorRecord {
+                slot,
+                enters_first: enters_via == first,
+            });
+        }
+    }
+    let mut advice = AdviceMap::empty(g.n());
+    for v in g.nodes() {
+        if !records[v.index()].is_empty() {
+            let bits = encode_records(&mut records[v.index()], g.degree(v));
+            advice.set(v, bits);
+        }
+    }
+    advice
+}
+
+/// The seed cluster-coloring encoder: full-graph BFS Voronoi over all
+/// centers, then greedy coloring of the cluster graph by center-uid order.
+fn seed_cluster_encode(schema: &ClusterColoringSchema, net: &Network) -> AdviceMap {
+    let g = net.graph();
+    let uids = net.uids();
+    let centers = ruling::ruling_set(g, schema.cluster_spacing);
+    let mut best: Vec<Option<(usize, u64, NodeId)>> = vec![None; g.n()];
+    for &c in &centers {
+        let dist = traversal::bfs_distances(g, c);
+        for v in g.nodes() {
+            if let Some(d) = dist[v.index()] {
+                let cand = (d, uids[c.index()], c);
+                if best[v.index()].is_none_or(|(bd, bu, _)| (cand.0, cand.1) < (bd, bu)) {
+                    best[v.index()] = Some(cand);
+                }
+            }
+        }
+    }
+    let cluster_of: Vec<NodeId> = best
+        .into_iter()
+        .map(|b| b.expect("ruling set dominates every node").2)
+        .collect();
+    let mut center_index = vec![usize::MAX; g.n()];
+    for (i, &c) in centers.iter().enumerate() {
+        center_index[c.index()] = i;
+    }
+    let mut cb = GraphBuilder::new(centers.len());
+    for (_, (u, v)) in g.edges() {
+        let cu = center_index[cluster_of[u.index()].index()];
+        let cv = center_index[cluster_of[v.index()].index()];
+        if cu != cv {
+            cb.add_edge(NodeId::from_index(cu), NodeId::from_index(cv));
+        }
+    }
+    let cluster_graph = cb.build();
+    let mut order: Vec<NodeId> = cluster_graph.nodes().collect();
+    order.sort_by_key(|&i| uids[centers[i.index()].index()]);
+    let cluster_colors = coloring::greedy_coloring(&cluster_graph, &order);
+    let used = cluster_colors.iter().max().map_or(0, |&c| c + 1);
+    assert!(
+        used <= schema.max_cluster_colors,
+        "grid instance exceeds the color budget"
+    );
+    let width = schema.color_width();
+    let mut advice = AdviceMap::empty(g.n());
+    for (i, &c) in centers.iter().enumerate() {
+        let mut bits = BitString::new();
+        bits.push_uint(cluster_colors[i] as u64, width);
+        advice.set(c, bits);
+    }
+    advice
+}
+
+/// Encodes `schema` under every thread override and asserts each result —
+/// map and stats — is bit-identical to `reference`.
+fn assert_encode_matches<S: AdviceSchema>(
+    schema: &S,
+    net: &Network,
+    reference: &AdviceMap,
+    label: &str,
+) {
+    for threads in THREAD_GRID {
+        set_thread_override(threads);
+        let got = schema
+            .encode(net)
+            .unwrap_or_else(|e| panic!("{label}: encode failed ({threads:?} threads): {e}"));
+        assert_eq!(
+            &got, reference,
+            "{label}: advice differs from reference at {threads:?} threads"
+        );
+        assert_eq!(
+            got.stats(),
+            reference.stats(),
+            "{label}: stats differ from reference at {threads:?} threads"
+        );
+    }
+    set_thread_override(None);
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn balanced_encoder_matches_frozen_seed_across_grid() {
+    let _guard = override_lock();
+    let schema = BalancedOrientationSchema::default();
+    for seed in SEEDS {
+        for (name, net) in grid_of_networks(seed) {
+            let reference = seed_balanced_encode(&schema, &net);
+            assert_encode_matches(
+                &schema,
+                &net,
+                &reference,
+                &format!("balanced/{name}/{seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn balanced_encoder_matches_seed_on_nondefault_parameters() {
+    let _guard = override_lock();
+    // Tight spacing exercises multi-anchor trails; threshold 1 anchors
+    // even short trails.
+    let schema = BalancedOrientationSchema::new(1, 3);
+    for (name, net) in grid_of_networks(42) {
+        let reference = seed_balanced_encode(&schema, &net);
+        assert_encode_matches(&schema, &net, &reference, &format!("balanced-tight/{name}"));
+    }
+}
+
+#[test]
+fn cluster_encoder_matches_frozen_seed_across_grid() {
+    let _guard = override_lock();
+    let schema = ClusterColoringSchema::default();
+    for seed in SEEDS {
+        for (name, net) in grid_of_networks(seed) {
+            let reference = seed_cluster_encode(&schema, &net);
+            assert_encode_matches(&schema, &net, &reference, &format!("cluster/{name}/{seed}"));
+        }
+    }
+}
+
+#[test]
+fn cluster_encoder_matches_seed_on_nondefault_spacing() {
+    let _guard = override_lock();
+    for spacing in [2usize, 3, 6] {
+        let schema = ClusterColoringSchema::new(spacing, 64);
+        for (name, net) in grid_of_networks(5) {
+            let reference = seed_cluster_encode(&schema, &net);
+            assert_encode_matches(
+                &schema,
+                &net,
+                &reference,
+                &format!("cluster-s{spacing}/{name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_encoder_is_thread_invariant_and_decodes_properly() {
+    let _guard = override_lock();
+    let schema = DeltaColoringSchema::default();
+    for seed in SEEDS {
+        for (name, net) in grid_of_networks(seed) {
+            // Δ-colorability: skip Brooks exceptions the repair search
+            // correctly rejects (none in this grid, but keep the guard
+            // honest if the grid grows).
+            set_thread_override(Some(1));
+            let reference = match schema.encode(&net) {
+                Ok(a) => a,
+                Err(e) => panic!("delta/{name}/{seed}: encode failed sequentially: {e}"),
+            };
+            assert_encode_matches(&schema, &net, &reference, &format!("delta/{name}/{seed}"));
+            let delta = net.graph().max_degree();
+            let (chi, _) = schema
+                .decode(&net, &reference)
+                .unwrap_or_else(|e| panic!("delta/{name}/{seed}: decode failed: {e}"));
+            assert!(
+                coloring::is_proper_k_coloring(net.graph(), &chi, delta),
+                "delta/{name}/{seed}: decoded coloring is not a proper Δ-coloring"
+            );
+        }
+    }
+}
+
+#[test]
+fn lookup_training_is_thread_invariant() {
+    let _guard = override_lock();
+    let radius = 1usize;
+    let training: Vec<Network> = vec![
+        sparse_ids(generators::cycle(24), 1),
+        sparse_ids(generators::cycle(30), 2),
+        sparse_ids(generators::path(25), 3),
+    ];
+    let algo = |ball: &Ball| ball.global_degree(ball.center()) % 2;
+    let probe = sparse_ids(generators::cycle(36), 9);
+    let mut reference: Option<(usize, Vec<Option<usize>>)> = None;
+    for threads in THREAD_GRID {
+        set_thread_override(threads);
+        let table: LookupTable<usize> =
+            LookupTable::train(radius, &training, |_| 0, algo).expect("order-invariant algo");
+        let evals: Vec<Option<usize>> = probe
+            .graph()
+            .nodes()
+            .map(|v| table.eval(&Ball::collect(&probe, v, radius), |_| 0))
+            .collect();
+        let snapshot = (table.len(), evals);
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(r) => assert_eq!(
+                r, &snapshot,
+                "lookup training differs at {threads:?} threads"
+            ),
+        }
+    }
+    set_thread_override(None);
+}
