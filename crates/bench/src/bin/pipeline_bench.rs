@@ -5,7 +5,11 @@
 //!
 //! * `encode_s` — centralized encoder wall-clock (min over reps);
 //! * `decode_s` — LOCAL decoder wall-clock over the advised network
-//!   (min over reps);
+//!   (min over reps), split into `gather_s` (ball gathering + canonical
+//!   keying) and `eval_s` (decoder-step evaluations) as attributed by the
+//!   memoized executor, plus the memo `hit_rate` (share of per-node
+//!   lookups served from an already-decoded canonical class; 0 on
+//!   schemas/paths that bypass the memo);
 //! * advice shape — total bits, max bits per node, holder count, kind —
 //!   straight from [`AdviceMap::stats`];
 //! * `rounds` — decoder locality as measured by the runtime;
@@ -29,7 +33,7 @@ use lad_core::cluster_coloring::ClusterColoringSchema;
 use lad_core::delta_coloring::DeltaColoringSchema;
 use lad_core::schema::AdviceSchema;
 use lad_graph::{coloring, generators, Graph};
-use lad_runtime::Network;
+use lad_runtime::{memo_stats, memo_stats_reset, MemoStats, Network};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -102,15 +106,30 @@ fn measure<S: AdviceSchema>(
     let encode_s = time_min(reps, || {
         schema.encode(net).unwrap();
     });
-    let decode_s = time_min(reps, || {
+    // Time decode per rep so the memo attribution (gather vs eval, hit
+    // rate) can be taken from exactly the rep that achieved the minimum.
+    let mut decode_s = f64::INFINITY;
+    let mut memo = MemoStats::default();
+    for _ in 0..reps {
+        memo_stats_reset();
+        let start = Instant::now();
         schema.decode(net, &advice).unwrap();
-    });
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < decode_s {
+            decode_s = elapsed;
+            memo = memo_stats();
+        }
+    }
+    let gather_s = memo.gather_ns as f64 / 1e9;
+    let eval_s = memo.eval_ns as f64 / 1e9;
+    let hit_rate = memo.hit_rate();
     let total_s = encode_s + decode_s;
     let a = advice.stats();
     let rounds = stats.rounds();
     let nodes_per_s = n as f64 / total_s;
     eprintln!(
         "{label:>16} {family:>6} n={n:<7} encode {encode_s:.4}s  decode {decode_s:.4}s  \
+         (gather {gather_s:.4}s eval {eval_s:.4}s hit {hit_rate:.3})  \
          {nodes_per_s:>10.0} nodes/s  {} bits on {} holders  T={rounds}  verified={verified}",
         a.total_bits, a.holders,
     );
@@ -118,6 +137,8 @@ fn measure<S: AdviceSchema>(
         json: format!(
             "    {{\"schema\": \"{label}\", \"family\": \"{family}\", \"n\": {n}, \
              \"reps\": {reps}, \"encode_s\": {encode_s:.6}, \"decode_s\": {decode_s:.6}, \
+             \"gather_s\": {gather_s:.6}, \"eval_s\": {eval_s:.6}, \
+             \"hit_rate\": {hit_rate:.4}, \
              \"total_s\": {total_s:.6}, \"nodes_per_s\": {nodes_per_s:.0}, \
              \"advice_total_bits\": {}, \"advice_max_bits\": {}, \"advice_holders\": {}, \
              \"advice_kind\": \"{:?}\", \"rounds\": {rounds}, \"verified\": {verified}}}",

@@ -36,8 +36,10 @@ use crate::schema::AdviceSchema;
 use lad_graph::orientation::{
     pair_partner, slot_edges, slot_of, slot_pairs, sorted_incident_by_uid,
 };
-use lad_graph::{EdgeId, NodeId, Orientation, Trail};
-use lad_runtime::{par_map, run_local_fallible_par, Network, RoundStats};
+use lad_graph::{EdgeId, Graph, NodeId, Orientation, Trail};
+use lad_runtime::{
+    par_map, run_local_fallible_par, run_local_memo_fallible_par, MemoStep, Network, RoundStats,
+};
 
 /// The almost-balanced-orientation schema (Contribution 3).
 ///
@@ -445,10 +447,76 @@ impl AdviceSchema for BalancedOrientationSchema {
         }
         let advised = net.with_inputs(advice.strings().to_vec());
         let radius = self.decode_radius();
-        let (claims, stats) =
-            run_local_fallible_par(&advised, |ctx| self.decode_view(&ctx.ball(radius)))?;
+        let (claims, stats) = if self.decoder_order_invariant() {
+            // Memoized path: cache the slot-indexed decisions once per
+            // canonical class, then re-bind slots to concrete edges per
+            // node on the real graph (uid claims themselves are *not*
+            // class-shareable — they name specific identifiers).
+            let budget = self.walk_budget();
+            let (dirs, stats) = run_local_memo_fallible_par(
+                &advised,
+                radius,
+                |bits: &BitString, words: &mut Vec<u64>| bits.push_key_words(words),
+                move |ball| slot_directions(ball, budget).map(MemoStep::Done),
+            )?;
+            let g = net.graph();
+            let uids = net.uids();
+            let claims = g
+                .nodes()
+                .map(|c| {
+                    bind_slots(g, uids, c, &dirs[c.index()])
+                        .into_iter()
+                        .map(|(e, out_of_center)| {
+                            let u = g.other_endpoint(e, c);
+                            if out_of_center {
+                                (uids[c.index()], uids[u.index()])
+                            } else {
+                                (uids[u.index()], uids[c.index()])
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            (claims, stats)
+        } else {
+            run_local_fallible_par(&advised, |ctx| self.decode_view(&ctx.ball(radius)))?
+        };
         // Cross-check and materialize — the same aggregation the gathered
         // fault-tolerant path uses.
+        let orientation = aggregate_claims(net, &claims)?;
+        Ok((orientation, stats))
+    }
+
+    fn decoder_order_invariant(&self) -> bool {
+        // Walks, anchor lookups, and the canonical direction rules consume
+        // identifiers only through order comparisons (slot sorting, Booth's
+        // least rotation, lexicographic trail comparison).
+        true
+    }
+}
+
+impl BalancedOrientationSchema {
+    /// Per-node oracle decode over the *reference* executor
+    /// ([`lad_runtime::run_local_fallible`]): the differential baseline the
+    /// memoized [`AdviceSchema::decode`] path is pinned against in tests.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AdviceSchema::decode`].
+    pub fn decode_reference(
+        &self,
+        net: &Network,
+        advice: &AdviceMap,
+    ) -> Result<(Orientation, RoundStats), DecodeError> {
+        if advice.n() != net.graph().n() {
+            return Err(DecodeError::Inconsistent(
+                "advice covers a different node count".into(),
+            ));
+        }
+        let advised = net.with_inputs(advice.strings().to_vec());
+        let radius = self.decode_radius();
+        let (claims, stats) =
+            lad_runtime::run_local_fallible(&advised, |ctx| self.decode_view(&ctx.ball(radius)))?;
         let orientation = aggregate_claims(net, &claims)?;
         Ok((orientation, stats))
     }
@@ -552,13 +620,34 @@ fn walk(
     })
 }
 
-/// Decodes the orientation of every edge incident to the center of `ball`.
-/// Returns `(ball-local edge id, oriented out of the center?)` pairs;
-/// [`BalancedOrientationSchema::decode_view`] converts them to uid pairs.
-fn decode_at_node(
+/// The center's trail decisions, indexed by slot position rather than by
+/// edge identity.
+///
+/// Slots are positions in the center's incident-edge list sorted by
+/// neighbor UID, so they are preserved by any isomorphism that preserves
+/// relative UID order — exactly what equality of [`lad_runtime::CanonicalKey`]s
+/// guarantees. That makes this struct (unlike raw uid claims) shareable
+/// across every node of a canonical class: the memoized decode path caches
+/// it per class and re-binds slots to concrete edges per node on the real
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SlotDirections {
+    /// For each paired slot `s`: is the trail "forward at this slot"
+    /// (entering via the first edge of the slot, exiting via the second)?
+    forward: Vec<bool>,
+    /// Odd degree only: does the unpaired edge's orientation point away
+    /// from the center?
+    endpoint_away: Option<bool>,
+}
+
+/// Computes the center's trail decisions. This is the order-invariant core
+/// of the decoder: identifiers are consumed exclusively through order
+/// comparisons (slot sorting, pairing, canonical direction rules), so the
+/// result is a function of the canonical advice-labeled view.
+fn slot_directions(
     ball: &lad_runtime::Ball<BitString>,
     budget: usize,
-) -> Result<Vec<(EdgeId, bool)>, DecodeError> {
+) -> Result<SlotDirections, DecodeError> {
     let g = ball.graph();
     let uids = ball.uids();
     let c = ball.center();
@@ -566,25 +655,55 @@ fn decode_at_node(
     if !ball.knows_all_edges_of(c) && ball.global_degree(c) > 0 {
         return Err(DecodeError::malformed(me, "view too small for own degree"));
     }
-    let mut out = Vec::new();
-    let order = sorted_incident_by_uid(g, uids, c);
-    // Paired slots: one decision per slot orients both edges.
+    let mut forward = Vec::with_capacity(slot_pairs(g, c));
     for s in 0..slot_pairs(g, c) {
         let (p, q) = slot_edges(g, uids, c, s);
         // "Forward at this slot" = the trail enters via p and exits via q.
-        let forward = decide_slot(ball, budget, c, s, p, q)?;
-        // If forward: p is incoming to the center, q outgoing.
-        out.push((p, !forward));
-        out.push((q, forward));
+        forward.push(decide_slot(ball, budget, c, s, p, q)?);
     }
-    // Unpaired edge (odd degree): the center is a trail endpoint.
-    if g.degree(c) % 2 == 1 {
+    let endpoint_away = if g.degree(c) % 2 == 1 {
+        let order = sorted_incident_by_uid(g, uids, c);
         let e = *order.last().expect("odd degree implies an edge");
-        let along_walk = decide_from_endpoint(ball, budget, c, e)?;
-        // `along_walk` = orientation points away from the center.
-        out.push((e, along_walk));
+        // `true` = orientation points away from the center.
+        Some(decide_from_endpoint(ball, budget, c, e)?)
+    } else {
+        None
+    };
+    Ok(SlotDirections {
+        forward,
+        endpoint_away,
+    })
+}
+
+/// Decodes the orientation of every edge incident to the center of `ball`.
+/// Returns `(ball-local edge id, oriented out of the center?)` pairs;
+/// [`BalancedOrientationSchema::decode_view`] converts them to uid pairs.
+fn decode_at_node(
+    ball: &lad_runtime::Ball<BitString>,
+    budget: usize,
+) -> Result<Vec<(EdgeId, bool)>, DecodeError> {
+    let dirs = slot_directions(ball, budget)?;
+    Ok(bind_slots(ball.graph(), ball.uids(), ball.center(), &dirs))
+}
+
+/// Re-binds slot-indexed decisions to concrete incident edges of `c` on
+/// `g`: `(edge, oriented out of `c`?)` pairs. Works identically on a ball
+/// graph and on the real network graph, because the slot structure is
+/// derived from neighbor-UID order, which both agree on.
+fn bind_slots(g: &Graph, uids: &[u64], c: NodeId, dirs: &SlotDirections) -> Vec<(EdgeId, bool)> {
+    let mut out = Vec::with_capacity(g.degree(c));
+    for (s, &fwd) in dirs.forward.iter().enumerate() {
+        let (p, q) = slot_edges(g, uids, c, s);
+        // If forward: p is incoming to the center, q outgoing.
+        out.push((p, !fwd));
+        out.push((q, fwd));
     }
-    Ok(out)
+    if let Some(away) = dirs.endpoint_away {
+        let order = sorted_incident_by_uid(g, uids, c);
+        let e = *order.last().expect("odd degree implies an edge");
+        out.push((e, away));
+    }
+    out
 }
 
 /// Decides the orientation of the trail through slot `s` at the center:

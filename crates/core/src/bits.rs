@@ -119,6 +119,31 @@ impl BitString {
         self.bits.iter().copied()
     }
 
+    /// Appends a self-delimiting word encoding of this bit string — the
+    /// length, then the bits packed 64 per word (MSB-first, last word
+    /// zero-padded). Two bit strings append the same words iff they are
+    /// equal, and the length prefix keeps the stream prefix-free, which is
+    /// exactly the `input_tag` contract of the memoized decode executor
+    /// (`lad_runtime::run_local_memo`); a single-word fold would collide
+    /// for advice longer than 64 bits.
+    pub fn push_key_words(&self, words: &mut Vec<u64>) {
+        words.push(self.bits.len() as u64);
+        let mut acc = 0u64;
+        let mut filled = 0u32;
+        for &b in &self.bits {
+            acc = (acc << 1) | u64::from(b);
+            filled += 1;
+            if filled == 64 {
+                words.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            words.push(acc << (64 - filled));
+        }
+    }
+
     /// The raw bits.
     pub fn as_slice(&self) -> &[bool] {
         &self.bits

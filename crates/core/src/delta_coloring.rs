@@ -364,6 +364,13 @@ impl AdviceSchema for DeltaColoringSchema {
         }
         Ok((colors, stats1.sequential(&one_round)))
     }
+
+    fn decoder_order_invariant(&self) -> bool {
+        // Stage 1 delegates to the cluster decoder (which memoizes when it
+        // declares order invariance); stages 2–3 are pure per-node reads.
+        // The declaration is inherited rather than separately exercised.
+        self.cluster.decoder_order_invariant()
+    }
 }
 
 /// Statistics on the stage-3 difference encoding, reported by E5.

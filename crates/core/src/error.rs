@@ -52,6 +52,12 @@ pub enum DecodeError {
     Inconsistent(String),
     /// The decoded output failed final validation.
     InvalidOutput(String),
+    /// The memoized decode path observed one canonical view producing two
+    /// different step results — the decoder is not order-invariant, so its
+    /// [`crate::AdviceSchema::decoder_order_invariant`] declaration is
+    /// wrong. Decoding refuses rather than share outputs across a class
+    /// that is not actually uniform.
+    NotOrderInvariant(lad_runtime::NotOrderInvariant),
 }
 
 impl DecodeError {
@@ -72,11 +78,18 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::Inconsistent(m) => write!(f, "inconsistent decoding: {m}"),
             DecodeError::InvalidOutput(m) => write!(f, "decoded output invalid: {m}"),
+            DecodeError::NotOrderInvariant(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+impl From<lad_runtime::NotOrderInvariant> for DecodeError {
+    fn from(e: lad_runtime::NotOrderInvariant) -> Self {
+        DecodeError::NotOrderInvariant(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

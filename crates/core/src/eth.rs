@@ -20,8 +20,8 @@
 
 use crate::bits::BitString;
 use lad_lcl::{verify, Labeling, Lcl};
-use lad_runtime::canonical::canonicalize;
-use lad_runtime::{run_local, Ball, CanonicalKey, Network};
+use lad_runtime::canonical::canonicalize_with;
+use lad_runtime::{run_local, Ball, CanonScratch, CanonicalKey, Network};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -86,6 +86,9 @@ pub fn brute_force_advice_search(
     assert!(total_bits < 48, "advice space too large to enumerate");
     let cache: std::cell::RefCell<HashMap<CanonicalKey, usize>> =
         std::cell::RefCell::new(HashMap::new());
+    // One keying workspace for the entire 2^{βn} enumeration, instead of
+    // a fresh allocation per canonicalized ball.
+    let scratch = std::cell::RefCell::new(CanonScratch::new());
     let evaluations = std::cell::Cell::new(0u64);
     let mut attempts = 0u64;
     let tag = |bits: &BitString| -> u64 {
@@ -117,7 +120,7 @@ pub fn brute_force_advice_search(
         let (labels, _) = run_local(&advised, |ctx| {
             let ball = ctx.ball(radius);
             if memoize {
-                let key = canonicalize(&ball, tag);
+                let key = canonicalize_with(&ball, tag, &mut scratch.borrow_mut());
                 if let Some(&out) = cache.borrow().get(&key) {
                     return out;
                 }

@@ -40,6 +40,22 @@ pub trait AdviceSchema {
         net: &Network,
         advice: &AdviceMap,
     ) -> Result<(Self::Output, RoundStats), DecodeError>;
+
+    /// Whether this schema's per-node decode step is **order-invariant**:
+    /// a pure function of the canonical form of the advice-labeled ball
+    /// (identifiers used only through order comparisons, never their
+    /// numerical values — the paper's Section 8 condition).
+    ///
+    /// Schemas that return `true` opt in to the memoized decode path
+    /// (`run_local_memo*`), which evaluates the decoder once per
+    /// isomorphism class instead of once per node. The declaration is
+    /// checked at runtime: the memo executor re-derives sampled entries
+    /// and aborts with [`DecodeError::NotOrderInvariant`] on any
+    /// disagreement, so a wrong `true` degrades to a typed error, never
+    /// to silently shared wrong outputs.
+    fn decoder_order_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// The outcome of a full encode → decode → validate round trip, as used by

@@ -112,6 +112,15 @@ impl Scratch {
     fn get(&self, v: NodeId) -> Option<NodeId> {
         (self.stamp[v.index()] == self.epoch).then(|| NodeId(self.local[v.index()]))
     }
+
+    /// The local index of `v` under the *current* epoch — the membership a
+    /// just-run [`BallMembers::gather`] / [`BallMembers::expand`] stamped.
+    /// Lets the memo executor key a membership without rebuilding a
+    /// global-to-local map.
+    #[inline]
+    pub(crate) fn current_local(&self, v: NodeId) -> Option<NodeId> {
+        self.get(v)
+    }
 }
 
 /// The BFS *membership* of a ball: nodes in discovery order with their
@@ -158,6 +167,11 @@ impl BallMembers {
     /// The radius this membership is complete to.
     pub(crate) fn radius(&self) -> usize {
         self.radius
+    }
+
+    /// The members in BFS discovery order with their distances.
+    pub(crate) fn members(&self) -> &[(NodeId, usize)] {
+        &self.members
     }
 
     /// Returns this membership's storage to `scratch` for the next

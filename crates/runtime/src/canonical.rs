@@ -14,16 +14,60 @@
 //! degrees, and the relative order of identifiers.
 
 use crate::ball::Ball;
+use crate::network::Network;
 use lad_graph::NodeId;
 
 /// A canonical, hashable fingerprint of a ball view.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CanonicalKey(Vec<u64>);
+///
+/// The serialized words carry the identity; a multiply–rotate fold of them
+/// is computed once at construction and replayed by `Hash`, so hash-map
+/// lookups mix a single word instead of re-hashing kilobytes per probe.
+/// Equality still compares the full word sequence (the cached fold only
+/// fast-rejects), so a fold collision costs a memcmp, never a wrong match.
+#[derive(Debug, Clone)]
+pub struct CanonicalKey {
+    fold: u64,
+    words: Vec<u64>,
+}
 
 impl CanonicalKey {
+    fn new(words: Vec<u64>) -> Self {
+        let mut fold = 0x9e37_79b9_7f4a_7c15u64;
+        for &w in &words {
+            fold = (fold.rotate_left(5) ^ w).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+        CanonicalKey { fold, words }
+    }
+
     /// The raw serialized words (for size accounting).
     pub fn words(&self) -> &[u64] {
-        &self.0
+        &self.words
+    }
+}
+
+impl PartialEq for CanonicalKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fold == other.fold && self.words == other.words
+    }
+}
+
+impl Eq for CanonicalKey {}
+
+impl std::hash::Hash for CanonicalKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fold);
+    }
+}
+
+impl PartialOrd for CanonicalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CanonicalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.words.cmp(&other.words)
     }
 }
 
@@ -34,10 +78,12 @@ impl CanonicalKey {
 #[derive(Debug, Default)]
 pub struct CanonScratch {
     by_uid: Vec<NodeId>,
+    uid_tmp: Vec<(u64, u32)>,
     rank: Vec<u64>,
     order: Vec<NodeId>,
+    order_keys: Vec<u64>,
     canon_index: Vec<u64>,
-    edges: Vec<(u64, u64)>,
+    edges: Vec<u64>,
 }
 
 impl CanonScratch {
@@ -67,54 +113,192 @@ pub fn canonicalize_with<In>(
     input_tag: impl Fn(&In) -> u64,
     scratch: &mut CanonScratch,
 ) -> CanonicalKey {
+    canonicalize_tagged_with(ball, |input, words| words.push(input_tag(input)), scratch)
+}
+
+/// [`canonicalize_with`] for inputs whose tag does not fit in one word:
+/// `input_tag` appends an arbitrary number of words per node (an advice
+/// bit string, say — see `BitString::push_key_words` in `lad-core`).
+///
+/// The writer must be *prefix-free*: either a fixed number of words per
+/// call, or self-delimiting (e.g. a length word followed by payload
+/// words). Otherwise distinct views could serialize identically.
+pub fn canonicalize_tagged_with<In>(
+    ball: &Ball<In>,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+    scratch: &mut CanonScratch,
+) -> CanonicalKey {
     let g = ball.graph();
     let n = g.n();
     // Ranks of identifiers within the ball: the only identifier information
-    // an order-invariant algorithm may use.
+    // an order-invariant algorithm may use. Sorting materialized
+    // (uid, node) pairs keeps the sort's comparisons on contiguous memory
+    // instead of chasing the uid table; uids are distinct, so the unstable
+    // pair sort orders exactly by uid.
+    let uid_tmp = &mut scratch.uid_tmp;
+    uid_tmp.clear();
+    uid_tmp.extend(g.nodes().map(|v| (ball.uid(v), v.index() as u32)));
+    uid_tmp.sort_unstable();
     let by_uid = &mut scratch.by_uid;
     by_uid.clear();
-    by_uid.extend(g.nodes());
-    by_uid.sort_by_key(|&v| ball.uid(v));
+    by_uid.extend(uid_tmp.iter().map(|&(_, i)| NodeId::from_index(i as usize)));
     let rank = &mut scratch.rank;
     rank.clear();
     rank.resize(n, 0);
     for (r, &v) in by_uid.iter().enumerate() {
         rank[v.index()] = r as u64;
     }
-    // Canonical node order: by (distance from center, rank).
+    // Canonical node order: by (distance from center, rank). Distances and
+    // ranks are `< n ≤ u32::MAX`, so the pair packs into one word — the
+    // sort runs on plain `u64`s, and rank `r` maps back to its node via
+    // `by_uid[r]`. The packed keys double as the per-node key words below.
+    let order_keys = &mut scratch.order_keys;
+    order_keys.clear();
+    order_keys.extend(
+        g.nodes()
+            .map(|v| (ball.dist(v) as u64) << 32 | rank[v.index()]),
+    );
+    order_keys.sort_unstable();
     let order = &mut scratch.order;
     order.clear();
-    order.extend(g.nodes());
-    order.sort_by_key(|&v| (ball.dist(v), rank[v.index()]));
+    order.extend(
+        order_keys
+            .iter()
+            .map(|&k| by_uid[(k & 0xffff_ffff) as usize]),
+    );
     let canon_index = &mut scratch.canon_index;
     canon_index.clear();
     canon_index.resize(n, 0);
     for (ci, &v) in order.iter().enumerate() {
         canon_index[v.index()] = ci as u64;
     }
-    let mut words = Vec::with_capacity(5 + 4 * n + 2 * g.m());
+    // Word layout (shared with `key_of_members`, which must stay
+    // word-identical): (dist, rank) pairs and edge endpoint pairs are
+    // packed two-to-a-word — shorter keys mean cheaper equality checks and
+    // a cheaper construction-time fold.
+    let mut words = Vec::with_capacity(4 + 3 * n + g.m());
     words.push(n as u64);
     words.push(ball.radius() as u64);
     words.push(canon_index[ball.center().index()]);
-    for &v in order.iter() {
-        words.push(ball.dist(v) as u64);
-        words.push(rank[v.index()]);
+    for (&k, &v) in order_keys.iter().zip(order.iter()) {
+        words.push(k);
         words.push(ball.global_degree(v) as u64);
-        words.push(input_tag(ball.input(v)));
+        input_tag(ball.input(v), &mut words);
     }
     let edges = &mut scratch.edges;
     edges.clear();
     edges.extend(g.edges().map(|(_, (u, v))| {
         let (a, b) = (canon_index[u.index()], canon_index[v.index()]);
-        (a.min(b), a.max(b))
+        a.min(b) << 32 | a.max(b)
     }));
     edges.sort_unstable();
     words.push(edges.len() as u64);
-    for &(a, b) in edges.iter() {
-        words.push(a);
-        words.push(b);
+    words.extend_from_slice(edges);
+    CanonicalKey::new(words)
+}
+
+/// Computes the [`CanonicalKey`] of the ball a BFS membership *would*
+/// materialize, without building it — word-identical to
+/// [`canonicalize_tagged_with`] on `members.build(..)` (pinned by the
+/// differential tests below). This is the memo executor's hit path: a
+/// node whose class is already decoded pays only the gather and this
+/// keying pass, never CSR/uid/input assembly.
+///
+/// `members` is the full BFS membership at `radius` (distances
+/// nondecreasing) and `local_of` maps a *global* node to its local index
+/// within it (the stamps a just-run gather/expand left in the BFS
+/// scratch).
+pub(crate) fn key_of_members<In>(
+    net: &Network<In>,
+    members: &[(NodeId, usize)],
+    radius: usize,
+    local_of: impl Fn(NodeId) -> Option<NodeId>,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+    scratch: &mut CanonScratch,
+) -> CanonicalKey {
+    let g = net.graph();
+    let n = members.len();
+    // Same packed-sort scheme as `canonicalize_tagged_with` (which see):
+    // (uid, local) pairs sort contiguously, (dist, rank) pairs pack into
+    // one word each and double as the per-node key words.
+    let uid_tmp = &mut scratch.uid_tmp;
+    uid_tmp.clear();
+    uid_tmp.extend(
+        members
+            .iter()
+            .enumerate()
+            .map(|(li, &(v, _))| (net.uid(v), li as u32)),
+    );
+    uid_tmp.sort_unstable();
+    let by_uid = &mut scratch.by_uid;
+    by_uid.clear();
+    by_uid.extend(
+        uid_tmp
+            .iter()
+            .map(|&(_, li)| NodeId::from_index(li as usize)),
+    );
+    let rank = &mut scratch.rank;
+    rank.clear();
+    rank.resize(n, 0);
+    for (r, &lv) in by_uid.iter().enumerate() {
+        rank[lv.index()] = r as u64;
     }
-    CanonicalKey(words)
+    let order_keys = &mut scratch.order_keys;
+    order_keys.clear();
+    order_keys.extend(
+        members
+            .iter()
+            .enumerate()
+            .map(|(li, &(_, d))| (d as u64) << 32 | rank[li]),
+    );
+    order_keys.sort_unstable();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(
+        order_keys
+            .iter()
+            .map(|&k| by_uid[(k & 0xffff_ffff) as usize]),
+    );
+    let canon_index = &mut scratch.canon_index;
+    canon_index.clear();
+    canon_index.resize(n, 0);
+    for (ci, &lv) in order.iter().enumerate() {
+        canon_index[lv.index()] = ci as u64;
+    }
+    let mut words = Vec::with_capacity(4 + 3 * n);
+    words.push(n as u64);
+    words.push(radius as u64);
+    // The center is always local index 0 of its own membership.
+    words.push(canon_index[0]);
+    for (&k, &lv) in order_keys.iter().zip(order.iter()) {
+        let (v, _) = members[lv.index()];
+        words.push(k);
+        words.push(g.degree(v) as u64);
+        input_tag(net.input(v), &mut words);
+    }
+    // Known edges, enumerated exactly like `build_from_members`: from the
+    // smaller-local endpoint, which sits at distance < radius (distances
+    // are nondecreasing in local index, so the frontier is a suffix).
+    let edges = &mut scratch.edges;
+    edges.clear();
+    for (li, &(v, d)) in members.iter().enumerate() {
+        if d == radius {
+            break;
+        }
+        let lv = NodeId::from_index(li);
+        for &u in g.neighbors(v) {
+            if let Some(lu) = local_of(u) {
+                if lv < lu {
+                    let (a, b) = (canon_index[lv.index()], canon_index[lu.index()]);
+                    edges.push(a.min(b) << 32 | a.max(b));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    words.push(edges.len() as u64);
+    words.extend_from_slice(edges);
+    CanonicalKey::new(words)
 }
 
 #[cfg(test)]
@@ -190,6 +374,96 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn key_of_members_matches_canonicalize() {
+        // The memo executor's build-free keying path must be
+        // word-identical to canonicalizing the materialized ball.
+        use crate::ball::{BallMembers, Scratch};
+        let tag = |&x: &u8, words: &mut Vec<u64>| words.push(x as u64);
+        for g in [
+            generators::cycle(12),
+            generators::path(9),
+            generators::grid2d(4, 5, true),
+            generators::complete(5),
+            generators::star(6),
+        ] {
+            let base = Network::with_identity_ids(g);
+            let n = base.graph().n();
+            let inputs: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+            let net = base.with_inputs(inputs);
+            let mut bfs = Scratch::new(n);
+            let mut cs = CanonScratch::new();
+            for v in net.graph().nodes() {
+                for r in 0..4 {
+                    let members = BallMembers::gather(net.graph(), v, r, &mut bfs);
+                    let key = key_of_members(
+                        &net,
+                        members.members(),
+                        r,
+                        |u| bfs.current_local(u),
+                        tag,
+                        &mut cs,
+                    );
+                    let ball = Ball::collect(&net, v, r);
+                    let expect = canonicalize_tagged_with(&ball, tag, &mut cs);
+                    assert_eq!(key, expect, "node {v:?} radius {r}");
+                    members.recycle(&mut bfs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_of_members_after_expand_matches_fresh_gather() {
+        use crate::ball::{BallMembers, Scratch};
+        let net = Network::with_identity_ids(generators::grid2d(6, 6, true));
+        let n = net.graph().n();
+        let mut bfs = Scratch::new(n);
+        let mut cs = CanonScratch::new();
+        for v in net.graph().nodes() {
+            let mut members = BallMembers::gather(net.graph(), v, 1, &mut bfs);
+            members.expand(net.graph(), 3, &mut bfs);
+            let grown = key_of_members(
+                &net,
+                members.members(),
+                3,
+                |u| bfs.current_local(u),
+                |&(), w| w.push(0),
+                &mut cs,
+            );
+            members.recycle(&mut bfs);
+            let fresh = BallMembers::gather(net.graph(), v, 3, &mut bfs);
+            let expect = key_of_members(
+                &net,
+                fresh.members(),
+                3,
+                |u| bfs.current_local(u),
+                |&(), w| w.push(0),
+                &mut cs,
+            );
+            fresh.recycle(&mut bfs);
+            assert_eq!(grown, expect, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn multi_word_tags_affect_key() {
+        // A tag wider than one word still distinguishes views: two inputs
+        // that agree on the first word but differ later.
+        let g = generators::path(3);
+        let base = Network::with_identity_ids(g);
+        let a = base.with_inputs(vec![vec![7u64, 1], vec![7, 1], vec![7, 1]]);
+        let b = base.with_inputs(vec![vec![7u64, 2], vec![7, 1], vec![7, 1]]);
+        let tag = |xs: &Vec<u64>, words: &mut Vec<u64>| {
+            words.push(xs.len() as u64);
+            words.extend_from_slice(xs);
+        };
+        let mut cs = CanonScratch::new();
+        let ka = canonicalize_tagged_with(&Ball::collect(&a, NodeId(0), 1), tag, &mut cs);
+        let kb = canonicalize_tagged_with(&Ball::collect(&b, NodeId(0), 1), tag, &mut cs);
+        assert_ne!(ka, kb);
     }
 
     #[test]

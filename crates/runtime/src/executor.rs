@@ -13,9 +13,17 @@
 //! | [`run_local_cached`] | shared [`ViewCache`] | sequential |
 //! | [`run_local_par`] | worker-local scratch + memo | contiguous chunks across threads |
 //! | [`run_local_par_cached`] | shared [`ViewCache`] | contiguous chunks across threads |
+//! | [`run_local_memo`] | incremental gather, decode once per canonical class | BFS node order |
+//! | [`run_local_memo_par`] | per-worker class memos, replay-merged | contiguous chunks across threads |
 //!
 //! (`run_local_fallible*` variants propagate the first per-node error in
 //! node-index order — also independent of the schedule.)
+//!
+//! The `run_local_memo*` family is restricted to *order-invariant* steps
+//! (a step whose output depends only on the canonical form of its view)
+//! and turns the paper's order-invariance theorem into a hot path: on
+//! bounded-growth graphs almost all balls are pairwise isomorphic, so one
+//! evaluation per [`CanonicalKey`] replaces one evaluation per node.
 //!
 //! Parallelism is gated behind the `parallel` cargo feature (on by
 //! default); with the feature off every entry point runs sequentially but
@@ -24,15 +32,19 @@
 //! `crates/runtime/tests/equivalence.rs` pins down the equivalence of all
 //! paths bit for bit.
 
-use crate::ball::Scratch;
+use crate::ball::{Ball, BallMembers, Scratch};
 use crate::cache::ViewCache;
+use crate::canonical::{key_of_members, CanonScratch, CanonicalKey};
 use crate::ctx::NodeCtx;
+use crate::lookup::NotOrderInvariant;
 use crate::network::Network;
-use lad_graph::NodeId;
+use lad_graph::{Graph, NodeId};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::convert::Infallible;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Round-complexity statistics of one execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,12 +179,35 @@ where
     T: Sync,
     U: Send,
 {
+    par_map_with(items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker mutable state: `init` runs once per worker
+/// thread (once in total for a sequential run) and every `f` call on that
+/// worker receives the same `&mut` state. This is how reusable workspaces
+/// ([`crate::CanonScratch`], BFS scratch) thread through fan-outs
+/// *explicitly* — scoped worker threads are fresh per call, so
+/// thread-local storage would silently reallocate on every invocation.
+pub fn par_map_with<T, U, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> U + Sync,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+{
     let n = items.len();
     let threads = configured_threads()
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
         .min(n.max(1));
     if !worth_spawning(n, threads) {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let mut outs: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
     let chunk_len = n.div_ceil(threads).max(1);
@@ -184,10 +219,12 @@ where
             let (chunk, tail) = rest.split_at_mut(take);
             rest = tail;
             let f = &f;
+            let init = &init;
             scope.spawn(move || {
+                let mut state = init();
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let i = start + off;
-                    *slot = Some(f(i, &items[i]));
+                    *slot = Some(f(&mut state, i, &items[i]));
                 }
             });
             start += take;
@@ -510,6 +547,735 @@ where
         run_par_impl(net, threads, Some(cache), &algo)
     } else {
         run_seq_impl(net, Some(cache), algo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memoized decode executor: decode once per canonical isomorphism class.
+// ---------------------------------------------------------------------------
+
+/// One rung of a memoized decode ladder (see [`run_local_memo`]).
+///
+/// The step function inspects a ball and either finishes or asks for a
+/// strictly larger view — the same contract as an adaptive-radius
+/// `ctx.ball(r)` loop under [`run_local`], reified as data so the
+/// executor can memoize the decision per canonical class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoStep<Out> {
+    /// The node's output is fully determined by the current view.
+    Done(Out),
+    /// The view is inconclusive; regather at this (strictly larger)
+    /// radius and evaluate again.
+    Expand(usize),
+}
+
+/// Counters describing one or more `run_local_memo*` executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Canonical-key lookups: one per ladder rung per node.
+    pub lookups: u64,
+    /// Distinct canonical classes evaluated (memo misses).
+    pub classes: u64,
+    /// Lookups answered from the memo without evaluating the step.
+    pub hits: u64,
+    /// Safety-net re-evaluations of already-memoized entries.
+    pub verifications: u64,
+    /// Nanoseconds spent gathering memberships and computing keys.
+    pub gather_ns: u64,
+    /// Nanoseconds spent materializing balls and evaluating the step.
+    pub eval_ns: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups answered from the memo (`0.0` when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    fn accumulate(&mut self, other: &MemoStats) {
+        self.lookups += other.lookups;
+        self.classes += other.classes;
+        self.hits += other.hits;
+        self.verifications += other.verifications;
+        self.gather_ns += other.gather_ns;
+        self.eval_ns += other.eval_ns;
+    }
+}
+
+static MEMO_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static MEMO_CLASSES: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_VERIFICATIONS: AtomicU64 = AtomicU64::new(0);
+static MEMO_GATHER_NS: AtomicU64 = AtomicU64::new(0);
+static MEMO_EVAL_NS: AtomicU64 = AtomicU64::new(0);
+
+fn flush_memo_stats(s: &MemoStats) {
+    MEMO_LOOKUPS.fetch_add(s.lookups, Ordering::Relaxed);
+    MEMO_CLASSES.fetch_add(s.classes, Ordering::Relaxed);
+    MEMO_HITS.fetch_add(s.hits, Ordering::Relaxed);
+    MEMO_VERIFICATIONS.fetch_add(s.verifications, Ordering::Relaxed);
+    MEMO_GATHER_NS.fetch_add(s.gather_ns, Ordering::Relaxed);
+    MEMO_EVAL_NS.fetch_add(s.eval_ns, Ordering::Relaxed);
+}
+
+/// Resets the process-wide [`memo_stats`] counters. Benchmarks bracket a
+/// decode with reset/read to attribute gather vs. evaluation time and the
+/// memo hit rate; the counters flow through schema `decode` signatures
+/// unchanged.
+pub fn memo_stats_reset() {
+    for c in [
+        &MEMO_LOOKUPS,
+        &MEMO_CLASSES,
+        &MEMO_HITS,
+        &MEMO_VERIFICATIONS,
+        &MEMO_GATHER_NS,
+        &MEMO_EVAL_NS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the process-wide memo executor counters accumulated since
+/// the last [`memo_stats_reset`] (across every `run_local_memo*` call in
+/// the process, all threads).
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        lookups: MEMO_LOOKUPS.load(Ordering::Relaxed),
+        classes: MEMO_CLASSES.load(Ordering::Relaxed),
+        hits: MEMO_HITS.load(Ordering::Relaxed),
+        verifications: MEMO_VERIFICATIONS.load(Ordering::Relaxed),
+        gather_ns: MEMO_GATHER_NS.load(Ordering::Relaxed),
+        eval_ns: MEMO_EVAL_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Multiply-rotate hasher for memo tables keyed by [`CanonicalKey`].
+///
+/// A key's `Hash` impl writes its single construction-time fold word, so
+/// per-lookup hashing is one `write_u64`; this hasher finishes that word
+/// without SipHash's initialization and finalization overhead. Key words
+/// derive from the caller's own graph, not attacker-controlled input, so a
+/// fast non-cryptographic word hash is the right trade. Collisions only
+/// cost an extra full-key comparison — never correctness.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+type KeyHashMap<V> = HashMap<CanonicalKey, V, std::hash::BuildHasherDefault<KeyHasher>>;
+
+/// What the memo records for one canonical class at one rung.
+enum MemoEntryKind<Out> {
+    /// The class decodes to this output.
+    Done(Out),
+    /// The class asks for a larger radius.
+    Expand(usize),
+    /// The step failed on this class. Error payloads address specific
+    /// nodes, so only the *fact* of failure is shared; the actual error is
+    /// regenerated for the smallest-index failing node at the end
+    /// ([`memo_first_error`]), matching [`run_local_fallible`]'s
+    /// first-error-in-node-order contract.
+    Failed,
+}
+
+struct MemoEntry<Out> {
+    kind: MemoEntryKind<Out>,
+    /// Reuse count; drives the geometric verification schedule.
+    hits: u32,
+}
+
+fn memo_kind_eq<Out: PartialEq>(a: &MemoEntryKind<Out>, b: &MemoEntryKind<Out>) -> bool {
+    match (a, b) {
+        (MemoEntryKind::Done(x), MemoEntryKind::Done(y)) => x == y,
+        (MemoEntryKind::Expand(x), MemoEntryKind::Expand(y)) => x == y,
+        (MemoEntryKind::Failed, MemoEntryKind::Failed) => true,
+        _ => false,
+    }
+}
+
+/// Network-wide BFS visit order, restarting at the smallest unvisited
+/// node per component. Consecutive nodes overlap in all but an O(r·Δ)
+/// frontier of their balls, so the incremental gather stays cache-hot and
+/// new canonical classes surface early (seams first, then a long run of
+/// hits).
+fn bfs_visit_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.n();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut head = 0usize;
+    let mut next_seed = 0usize;
+    while order.len() < n {
+        if head == order.len() {
+            while seen[next_seed] {
+                next_seed += 1;
+            }
+            seen[next_seed] = true;
+            order.push(NodeId::from_index(next_seed));
+        }
+        let v = order[head];
+        head += 1;
+        for &u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                order.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Runs one node's decode ladder against a class memo. On a memo miss the
+/// ball is materialized and the step evaluated (then shared with the whole
+/// class); on a hit the node pays only the membership gather and keying.
+/// Every entry is re-evaluated on a geometric schedule of its reuses
+/// (1st, 2nd, 4th, 8th, … hit) as a differential safety net: a step whose
+/// output is *not* a function of the canonical view is reported as
+/// [`NotOrderInvariant`] instead of silently decoding wrong.
+#[allow(clippy::too_many_arguments)]
+fn memo_process_node<In: Clone, Out: Clone + PartialEq, E>(
+    net: &Network<In>,
+    v: NodeId,
+    initial_radius: usize,
+    input_tag: &impl Fn(&In, &mut Vec<u64>),
+    step: &impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E>,
+    memo: &mut KeyHashMap<MemoEntry<Out>>,
+    scratch: &mut Scratch,
+    cscratch: &mut CanonScratch,
+    stats: &mut MemoStats,
+    failed: &mut Vec<usize>,
+    out_slot: &mut Option<Out>,
+    pn_slot: &mut usize,
+) -> Result<(), NotOrderInvariant> {
+    let g = net.graph();
+    let t0 = Instant::now();
+    let mut members = BallMembers::gather(g, v, initial_radius, scratch);
+    let mut key = key_of_members(
+        net,
+        members.members(),
+        members.radius(),
+        |u| scratch.current_local(u),
+        input_tag,
+        cscratch,
+    );
+    stats.gather_ns += t0.elapsed().as_nanos() as u64;
+    loop {
+        stats.lookups += 1;
+        let next = match memo.get_mut(&key) {
+            Some(entry) => {
+                stats.hits += 1;
+                entry.hits += 1;
+                if entry.hits.is_power_of_two() {
+                    stats.verifications += 1;
+                    let t = Instant::now();
+                    let ball = members.build_current(net, scratch);
+                    let res = step(&ball);
+                    stats.eval_ns += t.elapsed().as_nanos() as u64;
+                    let agrees = match (&res, &entry.kind) {
+                        (Ok(MemoStep::Done(a)), MemoEntryKind::Done(b)) => a == b,
+                        (Ok(MemoStep::Expand(ra)), MemoEntryKind::Expand(rb)) => ra == rb,
+                        (Err(_), MemoEntryKind::Failed) => true,
+                        _ => false,
+                    };
+                    if !agrees {
+                        return Err(NotOrderInvariant { key });
+                    }
+                }
+                match &entry.kind {
+                    MemoEntryKind::Done(out) => {
+                        *out_slot = Some(out.clone());
+                        *pn_slot = members.radius();
+                        None
+                    }
+                    MemoEntryKind::Expand(r) => Some(*r),
+                    MemoEntryKind::Failed => {
+                        failed.push(v.index());
+                        *pn_slot = members.radius();
+                        None
+                    }
+                }
+            }
+            None => {
+                stats.classes += 1;
+                let t = Instant::now();
+                let ball = members.build_current(net, scratch);
+                let res = step(&ball);
+                stats.eval_ns += t.elapsed().as_nanos() as u64;
+                match res {
+                    Ok(MemoStep::Done(out)) => {
+                        *out_slot = Some(out.clone());
+                        *pn_slot = members.radius();
+                        memo.insert(
+                            key,
+                            MemoEntry {
+                                kind: MemoEntryKind::Done(out),
+                                hits: 0,
+                            },
+                        );
+                        None
+                    }
+                    Ok(MemoStep::Expand(r)) => {
+                        assert!(
+                            r > members.radius(),
+                            "MemoStep::Expand must strictly increase the radius"
+                        );
+                        memo.insert(
+                            key,
+                            MemoEntry {
+                                kind: MemoEntryKind::Expand(r),
+                                hits: 0,
+                            },
+                        );
+                        Some(r)
+                    }
+                    Err(_) => {
+                        failed.push(v.index());
+                        *pn_slot = members.radius();
+                        memo.insert(
+                            key,
+                            MemoEntry {
+                                kind: MemoEntryKind::Failed,
+                                hits: 0,
+                            },
+                        );
+                        None
+                    }
+                }
+            }
+        };
+        match next {
+            None => break,
+            Some(r) => {
+                let t = Instant::now();
+                members.expand(g, r, scratch);
+                key = key_of_members(
+                    net,
+                    members.members(),
+                    members.radius(),
+                    |u| scratch.current_local(u),
+                    input_tag,
+                    cscratch,
+                );
+                stats.gather_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+    members.recycle(scratch);
+    Ok(())
+}
+
+/// Replays one node's full ladder *without* the memo to regenerate its
+/// exact error — the payload addresses this node, so it cannot be shared
+/// across the class. If the replay unexpectedly succeeds (or stalls) where
+/// its class failed, the step is not order-invariant.
+fn memo_first_error<In: Clone, Out, E: From<NotOrderInvariant>>(
+    net: &Network<In>,
+    v: NodeId,
+    initial_radius: usize,
+    input_tag: &impl Fn(&In, &mut Vec<u64>),
+    step: &impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E>,
+    scratch: &mut Scratch,
+    cscratch: &mut CanonScratch,
+) -> E {
+    let g = net.graph();
+    let mut members = BallMembers::gather(g, v, initial_radius, scratch);
+    loop {
+        let ball = members.build_current(net, scratch);
+        match step(&ball) {
+            Err(e) => return e,
+            Ok(MemoStep::Expand(r)) if r > members.radius() => members.expand(g, r, scratch),
+            _ => {
+                let key = key_of_members(
+                    net,
+                    members.members(),
+                    members.radius(),
+                    |u| scratch.current_local(u),
+                    input_tag,
+                    cscratch,
+                );
+                return NotOrderInvariant { key }.into();
+            }
+        }
+    }
+}
+
+fn run_memo_seq<In: Clone, Out: Clone + PartialEq, E: From<NotOrderInvariant>>(
+    net: &Network<In>,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+    step: impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E>,
+) -> Result<(Vec<Out>, RoundStats), E> {
+    let g = net.graph();
+    let n = g.n();
+    let mut stats = MemoStats::default();
+    let mut scratch = Scratch::new(n);
+    let mut cscratch = CanonScratch::new();
+    let mut memo: KeyHashMap<MemoEntry<Out>> = HashMap::default();
+    let mut outs: Vec<Option<Out>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut per_node = vec![0usize; n];
+    let mut failed: Vec<usize> = Vec::new();
+    for v in bfs_visit_order(g) {
+        let i = v.index();
+        // Split the slices so the borrow of one slot does not pin the rest.
+        let (out_slot, pn_slot) = (&mut outs[i], &mut per_node[i]);
+        if let Err(conflict) = memo_process_node(
+            net,
+            v,
+            initial_radius,
+            &input_tag,
+            &step,
+            &mut memo,
+            &mut scratch,
+            &mut cscratch,
+            &mut stats,
+            &mut failed,
+            out_slot,
+            pn_slot,
+        ) {
+            flush_memo_stats(&stats);
+            return Err(conflict.into());
+        }
+    }
+    flush_memo_stats(&stats);
+    if let Some(&i) = failed.iter().min() {
+        return Err(memo_first_error(
+            net,
+            NodeId::from_index(i),
+            initial_radius,
+            &input_tag,
+            &step,
+            &mut scratch,
+            &mut cscratch,
+        ));
+    }
+    let outs = outs
+        .into_iter()
+        .map(|o| o.expect("non-failing run fills every node"))
+        .collect();
+    Ok((outs, RoundStats { per_node }))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_memo_par<In, Out, E>(
+    net: &Network<In>,
+    threads: usize,
+    initial_radius: usize,
+    input_tag: &(impl Fn(&In, &mut Vec<u64>) + Sync),
+    step: &(impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E> + Sync),
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Clone + PartialEq + Send,
+    E: From<NotOrderInvariant> + Send,
+{
+    let g = net.graph();
+    let n = g.n();
+    let mut outs: Vec<Option<Out>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut per_node = vec![0usize; n];
+    let chunk_len = n.div_ceil(threads.max(1)).max(1);
+    let conflict: Mutex<Option<NotOrderInvariant>> = Mutex::new(None);
+    // Per-worker shards, replay-merged after the join: (chunk start, class
+    // memo, failed node indices, counters).
+    let shards: Mutex<Vec<(usize, KeyHashMap<MemoEntry<Out>>, Vec<usize>)>> =
+        Mutex::new(Vec::new());
+    let mut stats = MemoStats::default();
+    let stats_total: Mutex<MemoStats> = Mutex::new(MemoStats::default());
+    std::thread::scope(|scope| {
+        let mut out_rest = &mut outs[..];
+        let mut pn_rest = &mut per_node[..];
+        let mut start = 0usize;
+        while !out_rest.is_empty() {
+            let take = chunk_len.min(out_rest.len());
+            let (out_chunk, rest) = out_rest.split_at_mut(take);
+            out_rest = rest;
+            let (pn_chunk, rest) = pn_rest.split_at_mut(take);
+            pn_rest = rest;
+            let (conflict, shards, stats_total) = (&conflict, &shards, &stats_total);
+            scope.spawn(move || {
+                let mut scratch = Scratch::new(n);
+                let mut cscratch = CanonScratch::new();
+                let mut memo: KeyHashMap<MemoEntry<Out>> = HashMap::default();
+                let mut local = MemoStats::default();
+                let mut failed: Vec<usize> = Vec::new();
+                for (off, (out_slot, pn_slot)) in
+                    out_chunk.iter_mut().zip(pn_chunk.iter_mut()).enumerate()
+                {
+                    let v = NodeId::from_index(start + off);
+                    if let Err(c) = memo_process_node(
+                        net,
+                        v,
+                        initial_radius,
+                        input_tag,
+                        step,
+                        &mut memo,
+                        &mut scratch,
+                        &mut cscratch,
+                        &mut local,
+                        &mut failed,
+                        out_slot,
+                        pn_slot,
+                    ) {
+                        let mut slot = conflict.lock().expect("conflict slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some(c);
+                        }
+                        break;
+                    }
+                }
+                stats_total
+                    .lock()
+                    .expect("stats slot poisoned")
+                    .accumulate(&local);
+                shards
+                    .lock()
+                    .expect("shard slot poisoned")
+                    .push((start, memo, failed));
+            });
+            start += take;
+        }
+    });
+    stats.accumulate(&stats_total.into_inner().expect("stats slot poisoned"));
+    flush_memo_stats(&stats);
+    if let Some(c) = conflict.into_inner().expect("conflict slot poisoned") {
+        return Err(c.into());
+    }
+    // Replay-merge: fold every shard's class memo into one map, in chunk
+    // order. A key two workers resolved differently is exactly a conflict
+    // the sequential safety net would have caught — report it instead of
+    // returning schedule-dependent outputs.
+    let mut shards = shards.into_inner().expect("shard slot poisoned");
+    shards.sort_by_key(|&(start, _, _)| start);
+    let mut merged: KeyHashMap<MemoEntryKind<Out>> = HashMap::default();
+    let mut failed: Vec<usize> = Vec::new();
+    for (_, memo, shard_failed) in shards {
+        for (key, entry) in memo {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(entry.kind);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    if !memo_kind_eq(slot.get(), &entry.kind) {
+                        let key = slot.key().clone();
+                        return Err(NotOrderInvariant { key }.into());
+                    }
+                }
+            }
+        }
+        failed.extend(shard_failed);
+    }
+    if let Some(&i) = failed.iter().min() {
+        let mut scratch = Scratch::new(n);
+        let mut cscratch = CanonScratch::new();
+        return Err(memo_first_error(
+            net,
+            NodeId::from_index(i),
+            initial_radius,
+            input_tag,
+            step,
+            &mut scratch,
+            &mut cscratch,
+        ));
+    }
+    let outs = outs
+        .into_iter()
+        .map(|o| o.expect("non-failing run fills every node"))
+        .collect();
+    Ok((outs, RoundStats { per_node }))
+}
+
+/// Memoized executor for **order-invariant** adaptive-radius algorithms:
+/// runs `step` once per distinct canonical class of advice-labeled balls
+/// and shares the output across every node in the class.
+///
+/// Each node gathers its radius-`initial_radius` membership, keys it by
+/// [`CanonicalKey`] (inputs folded in through `input_tag`, which must be
+/// prefix-free — fixed arity or self-delimiting), and follows the ladder
+/// `step` prescribes: [`MemoStep::Done`] finishes the node,
+/// [`MemoStep::Expand`] grows the membership incrementally and rekeys.
+/// Nodes are visited in BFS order so neighboring balls are gathered by
+/// frontier deltas and classes repeat back to back.
+///
+/// Outputs, per-node radii, and error choice are identical to running the
+/// equivalent `ctx.ball(r)` ladder under [`run_local`] — provided `step`
+/// is order-invariant. That premise is *checked*, not trusted: memo
+/// entries are re-evaluated against fresh balls on a geometric schedule
+/// of their reuses, and any disagreement (including cross-shard
+/// disagreement in the parallel variants) aborts with
+/// [`NotOrderInvariant`] instead of returning wrong answers.
+///
+/// # Errors
+///
+/// [`NotOrderInvariant`] if two isomorphic views produced different step
+/// results.
+///
+/// # Panics
+///
+/// Panics if `step` requests [`MemoStep::Expand`] to a radius that does
+/// not strictly increase.
+pub fn run_local_memo<In: Clone, Out: Clone + PartialEq>(
+    net: &Network<In>,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+    step: impl Fn(&Ball<In>) -> MemoStep<Out>,
+) -> Result<(Vec<Out>, RoundStats), NotOrderInvariant> {
+    run_memo_seq::<_, _, NotOrderInvariant>(net, initial_radius, input_tag, |ball| Ok(step(ball)))
+}
+
+/// [`run_local_memo`] for fallible steps. Failures are memoized as facts
+/// ("this class fails") and the concrete error of the smallest-index
+/// failing node is regenerated by replaying that node without the memo,
+/// so node-addressed payloads match [`run_local_fallible`] exactly.
+///
+/// # Errors
+///
+/// The first per-node error in node-index order, or
+/// [`NotOrderInvariant`] (through `E: From<NotOrderInvariant>`) if the
+/// step is not order-invariant.
+pub fn run_local_memo_fallible<In: Clone, Out: Clone + PartialEq, E: From<NotOrderInvariant>>(
+    net: &Network<In>,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+    step: impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E>,
+) -> Result<(Vec<Out>, RoundStats), E> {
+    run_memo_seq(net, initial_radius, input_tag, step)
+}
+
+/// Parallel [`run_local_memo`]: contiguous node chunks across
+/// [`effective_parallelism`] workers, one class memo per worker, merged
+/// after the join ([`run_local_memo_par_with`] for details).
+///
+/// # Errors
+///
+/// [`NotOrderInvariant`] if two isomorphic views produced different step
+/// results.
+pub fn run_local_memo_par<In, Out>(
+    net: &Network<In>,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>) + Sync,
+    step: impl Fn(&Ball<In>) -> MemoStep<Out> + Sync,
+) -> Result<(Vec<Out>, RoundStats), NotOrderInvariant>
+where
+    In: Clone + Send + Sync,
+    Out: Clone + PartialEq + Send,
+{
+    run_local_memo_par_with(
+        net,
+        effective_parallelism(net.graph().n()),
+        initial_radius,
+        input_tag,
+        step,
+    )
+}
+
+/// [`run_local_memo_par`] with an explicit worker count. Workers keep
+/// *independent* class memos over contiguous node ranges (no shared-map
+/// contention); after the join the shards are replay-merged and any key
+/// two workers resolved differently aborts with [`NotOrderInvariant`].
+/// For an order-invariant step the outputs are bit-identical to the
+/// sequential run for every `threads` value.
+///
+/// # Errors
+///
+/// [`NotOrderInvariant`] if two isomorphic views produced different step
+/// results.
+pub fn run_local_memo_par_with<In, Out>(
+    net: &Network<In>,
+    threads: usize,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>) + Sync,
+    step: impl Fn(&Ball<In>) -> MemoStep<Out> + Sync,
+) -> Result<(Vec<Out>, RoundStats), NotOrderInvariant>
+where
+    In: Clone + Send + Sync,
+    Out: Clone + PartialEq + Send,
+{
+    let step = |ball: &Ball<In>| Ok(step(ball));
+    if worth_spawning(net.graph().n(), threads) {
+        run_memo_par::<_, _, NotOrderInvariant>(net, threads, initial_radius, &input_tag, &step)
+    } else {
+        run_memo_seq::<_, _, NotOrderInvariant>(net, initial_radius, input_tag, step)
+    }
+}
+
+/// Parallel [`run_local_memo_fallible`] with automatic worker count.
+///
+/// # Errors
+///
+/// The first per-node error in node-index order, or
+/// [`NotOrderInvariant`] through `E: From<NotOrderInvariant>`.
+pub fn run_local_memo_fallible_par<In, Out, E>(
+    net: &Network<In>,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>) + Sync,
+    step: impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E> + Sync,
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Clone + PartialEq + Send,
+    E: From<NotOrderInvariant> + Send,
+{
+    run_local_memo_fallible_par_with(
+        net,
+        effective_parallelism(net.graph().n()),
+        initial_radius,
+        input_tag,
+        step,
+    )
+}
+
+/// [`run_local_memo_fallible_par`] with an explicit worker count; see
+/// [`run_local_memo_par_with`] for the sharding and merge contract.
+///
+/// # Errors
+///
+/// The first per-node error in node-index order, or
+/// [`NotOrderInvariant`] through `E: From<NotOrderInvariant>`.
+pub fn run_local_memo_fallible_par_with<In, Out, E>(
+    net: &Network<In>,
+    threads: usize,
+    initial_radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>) + Sync,
+    step: impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E> + Sync,
+) -> Result<(Vec<Out>, RoundStats), E>
+where
+    In: Clone + Send + Sync,
+    Out: Clone + PartialEq + Send,
+    E: From<NotOrderInvariant> + Send,
+{
+    if worth_spawning(net.graph().n(), threads) {
+        run_memo_par(net, threads, initial_radius, &input_tag, &step)
+    } else {
+        run_memo_seq(net, initial_radius, input_tag, step)
     }
 }
 

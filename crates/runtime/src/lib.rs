@@ -46,6 +46,13 @@
 //! and `crates/runtime/tests/equivalence.rs` enforces this differentially.
 //! Threading sits behind the `parallel` cargo feature (default-on); see
 //! [`executor::effective_parallelism`] for how worker counts resolve.
+//!
+//! For *order-invariant* algorithms, [`run_local_memo`] (and its
+//! fallible/parallel variants) additionally decodes once per canonical
+//! isomorphism class of advice-labeled balls instead of once per node,
+//! with a built-in [`NotOrderInvariant`] safety net; on bounded-growth
+//! graphs this is the difference between O(n) and O(#classes) step
+//! evaluations.
 
 //! # Fault injection
 //!
@@ -71,16 +78,20 @@ pub mod transport;
 
 pub use ball::Ball;
 pub use cache::{CacheStats, ViewCache};
-pub use canonical::{canonicalize, canonicalize_with, CanonScratch, CanonicalKey};
+pub use canonical::{
+    canonicalize, canonicalize_tagged_with, canonicalize_with, CanonScratch, CanonicalKey,
+};
 pub use ctx::NodeCtx;
 pub use executor::{
-    effective_parallelism, par_map, run_local, run_local_cached, run_local_fallible,
-    run_local_fallible_cached, run_local_fallible_par, run_local_fallible_par_cached,
-    run_local_fallible_par_with, run_local_par, run_local_par_cached, run_local_par_with,
-    set_thread_override, RoundStats,
+    effective_parallelism, memo_stats, memo_stats_reset, par_map, par_map_with, run_local,
+    run_local_cached, run_local_fallible, run_local_fallible_cached, run_local_fallible_par,
+    run_local_fallible_par_cached, run_local_fallible_par_with, run_local_memo,
+    run_local_memo_fallible, run_local_memo_fallible_par, run_local_memo_fallible_par_with,
+    run_local_memo_par, run_local_memo_par_with, run_local_par, run_local_par_cached,
+    run_local_par_with, set_thread_override, MemoStats, MemoStep, RoundStats,
 };
 pub use gather::{run_gathered, run_gathered_robust, GatherError, GatherReport, NodeRecord};
-pub use lookup::LookupTable;
+pub use lookup::{LookupTable, NotOrderInvariant};
 pub use messaging::{
     run_rounds, run_rounds_on, LocalInfo, LossyRoundAlgorithm, RoundAlgorithm, RoundLimitExceeded,
     RoundOutcome, Strict,

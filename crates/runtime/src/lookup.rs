@@ -12,9 +12,10 @@
 //! that makes the brute-force-over-advice ETH argument go through.
 
 use crate::ball::Ball;
-use crate::canonical::{canonicalize, CanonicalKey};
-use crate::executor::{effective_parallelism, par_map};
+use crate::canonical::{canonicalize, canonicalize_with, CanonScratch, CanonicalKey};
+use crate::executor::{effective_parallelism, par_map_with};
 use crate::network::Network;
+use lad_graph::NodeId;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -86,10 +87,12 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
 
     /// Trains a table by running `algo` (restricted to radius-`radius`
     /// views) on each training network. Observation gathering fans out
-    /// *across networks* via [`crate::par_map`] (training sets are many
-    /// small witness networks, so per-network parallelism has nothing to
-    /// grab); observations are *recorded* sequentially in network × node
-    /// order, so which conflict is reported is deterministic.
+    /// *across networks* via [`crate::par_map_with`] (training sets are
+    /// many small witness networks), or across contiguous node ranges for
+    /// a single large network; each worker keys every view through one
+    /// explicit [`CanonScratch`], reused across its whole chunk.
+    /// Observations are *recorded* sequentially in network × node order,
+    /// so which conflict is reported is deterministic.
     ///
     /// # Errors
     ///
@@ -103,27 +106,39 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     where
         Out: Send,
     {
-        let observe_net = |net: &Network<In>, inner_threads: usize| {
-            let (pairs, _) = crate::executor::run_local_par_with(net, inner_threads, |ctx| {
-                let ball = ctx.ball(radius);
-                let key = canonicalize(&ball, input_tag);
-                let out = algo(&ball);
-                (key, out)
-            });
-            pairs
-        };
-        let per_net: Vec<Vec<(CanonicalKey, Out)>> = if training.len() > 1 {
-            // Outer fan-out: one work item per network, each run
-            // sequentially inside its worker to avoid nested spawns.
-            par_map(training, |_, net| observe_net(net, 1))
-        } else {
-            training
-                .iter()
-                .map(|net| observe_net(net, effective_parallelism(net.graph().n())))
+        let observe = |scratch: &mut CanonScratch,
+                       net: &Network<In>,
+                       nodes: std::ops::Range<usize>|
+         -> Vec<(CanonicalKey, Out)> {
+            nodes
+                .map(|i| {
+                    let ball = Ball::collect(net, NodeId::from_index(i), radius);
+                    let key = canonicalize_with(&ball, input_tag, scratch);
+                    let out = algo(&ball);
+                    (key, out)
+                })
                 .collect()
         };
+        let per_chunk: Vec<Vec<(CanonicalKey, Out)>> = if training.len() > 1 {
+            par_map_with(training, CanonScratch::new, |scratch, _, net| {
+                observe(scratch, net, 0..net.graph().n())
+            })
+        } else if let Some(net) = training.first() {
+            // One network: fan out across contiguous node ranges instead.
+            let n = net.graph().n();
+            let chunk = n.div_ceil(effective_parallelism(n).max(1)).max(1);
+            let ranges: Vec<std::ops::Range<usize>> = (0..n)
+                .step_by(chunk)
+                .map(|s| s..(s + chunk).min(n))
+                .collect();
+            par_map_with(&ranges, CanonScratch::new, |scratch, _, range| {
+                observe(scratch, net, range.clone())
+            })
+        } else {
+            Vec::new()
+        };
         let mut t = LookupTable::new(radius);
-        for pairs in per_net {
+        for pairs in per_chunk {
             for (key, out) in pairs {
                 t.observe(key, out)?;
             }
@@ -135,6 +150,20 @@ impl<Out: Clone + PartialEq> LookupTable<Out> {
     /// in training.
     pub fn eval<In>(&self, ball: &Ball<In>, input_tag: impl Fn(&In) -> u64) -> Option<Out> {
         self.table.get(&canonicalize(ball, input_tag)).cloned()
+    }
+
+    /// [`LookupTable::eval`] with a caller-provided keying workspace — for
+    /// callers evaluating many views in a loop, where the thread-local
+    /// fallback inside [`canonicalize`] would hide the reuse.
+    pub fn eval_with<In>(
+        &self,
+        ball: &Ball<In>,
+        input_tag: impl Fn(&In) -> u64,
+        scratch: &mut CanonScratch,
+    ) -> Option<Out> {
+        self.table
+            .get(&canonicalize_with(ball, input_tag, scratch))
+            .cloned()
     }
 }
 

@@ -1,0 +1,367 @@
+//! Differential harness for the memoized executor: `run_local_memo*` must
+//! compute the *same function* as [`run_local`] whenever the step is
+//! order-invariant, and must *refuse* (never silently mis-share) when it
+//! is not.
+//!
+//! Coverage mirrors `equivalence.rs`:
+//! * the deterministic generator grid × three step shapes (fixed radius,
+//!   adaptive Expand ladders, fallible with order-invariant failure sets)
+//!   × thread counts {1, 2, 3, 8};
+//! * proptest-driven random shapes, radii, and thread counts;
+//! * deliberately order-*sensitive* steps, which every memo entry point
+//!   must reject with [`NotOrderInvariant`] instead of returning answers;
+//! * first-error choice on fallible steps, which must match
+//!   [`run_local_fallible`]'s smallest-failing-node-index semantics, with
+//!   the error value regenerated exactly (node-specific payloads included).
+//!
+//! Everything here runs under both feature configurations: with
+//! `--no-default-features` the `*_par*` entry points degrade to the
+//! sequential path, and the assertions are unchanged.
+
+use lad_graph::{builder::GraphBuilder, generators, Graph};
+use lad_runtime::{
+    run_local, run_local_fallible, run_local_memo, run_local_memo_fallible,
+    run_local_memo_fallible_par_with, run_local_memo_par_with, Ball, MemoStep, Network, NodeCtx,
+    NotOrderInvariant, RoundStats,
+};
+use proptest::prelude::*;
+
+const THREAD_GRID: [usize; 4] = [1, 2, 3, 8];
+
+/// Same deterministic generator grid as `equivalence.rs`.
+fn generator_grid() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", generators::path(17)),
+        ("cycle", generators::cycle(24)),
+        ("star", generators::star(6)),
+        ("complete", generators::complete(7)),
+        ("balanced-tree", generators::balanced_tree(2, 4)),
+        ("caterpillar", generators::caterpillar(8, 2)),
+        ("random-tree", generators::random_tree(30, 3)),
+        ("grid", generators::grid2d(6, 5, false)),
+        ("torus", generators::grid2d(5, 5, true)),
+        ("hypercube", generators::hypercube(4)),
+        ("ladder", generators::ladder(6)),
+        ("random-regular", generators::random_regular(24, 3, 5)),
+        (
+            "random-bounded-degree",
+            generators::random_bounded_degree(40, 4, 60, 9),
+        ),
+        (
+            "subexp-torus-patch",
+            generators::random_torus_patch(8, 8, 0.85, 4),
+        ),
+        (
+            "disconnected",
+            generators::disjoint_union(&[
+                generators::cycle(5),
+                generators::path(4),
+                GraphBuilder::new(2).build(), // isolated nodes
+            ]),
+        ),
+    ]
+}
+
+/// Nontrivial identifiers and inputs, as in `equivalence.rs`: memoization
+/// must survive scrambled uids, because keys depend on uid *order* only.
+fn network_for(g: &Graph) -> Network<u32> {
+    let inputs: Vec<u32> = (0..g.n())
+        .map(|i| (i as u32).wrapping_mul(7) % 13)
+        .collect();
+    let ids = lad_graph::IdAssignment::random_permutation(g.n(), 0xC0FFEE);
+    Network::with_ids(g.clone(), ids).with_inputs(inputs)
+}
+
+fn tag(input: &u32, words: &mut Vec<u64>) {
+    words.push(u64::from(*input));
+}
+
+/// An order-invariant digest of a ball: structure, inputs, distances, and
+/// the center's *rank* among ball uids (order information is fine — the
+/// numerical uid values are not).
+fn oi_digest(ball: &Ball<u32>) -> (usize, usize, u64, usize) {
+    let c = ball.center();
+    let center_rank = ball.uids().iter().filter(|&&u| u < ball.uid(c)).count();
+    let weighted: u64 = (0..ball.n())
+        .map(|i| {
+            let v = lad_graph::NodeId(i as u32);
+            u64::from(*ball.input(v)) * (ball.dist(v) as u64 + 1)
+        })
+        .sum();
+    (ball.n(), ball.graph().m(), weighted, center_rank)
+}
+
+/// Asserts the memo entry points reproduce `run_local`'s outputs and
+/// per-node round statistics exactly, across the thread grid.
+fn assert_memo_equals_reference<Out>(
+    tag_: &str,
+    net: &Network<u32>,
+    initial_radius: usize,
+    step: impl Fn(&Ball<u32>) -> MemoStep<Out> + Sync,
+    reference: impl Fn(&NodeCtx<u32>) -> Out + Sync,
+) where
+    Out: Clone + PartialEq + std::fmt::Debug + Send,
+{
+    let expected: (Vec<Out>, RoundStats) = run_local(net, &reference);
+    let seq = run_local_memo(net, initial_radius, tag, &step)
+        .unwrap_or_else(|e| panic!("{tag_}: memo refused an order-invariant step: {e}"));
+    assert_eq!(seq, expected, "{tag_}: memo seq");
+    for threads in THREAD_GRID {
+        let par = run_local_memo_par_with(net, threads, initial_radius, tag, &step)
+            .unwrap_or_else(|e| panic!("{tag_}: memo par refused ({threads} threads): {e}"));
+        assert_eq!(par, expected, "{tag_}: memo par, {threads} threads");
+    }
+}
+
+#[test]
+fn fixed_radius_digests_identical_everywhere() {
+    for (tag_, g) in generator_grid() {
+        let net = network_for(&g);
+        for radius in 0..=3 {
+            assert_memo_equals_reference(
+                &format!("{tag_}/r{radius}"),
+                &net,
+                radius,
+                |ball| MemoStep::Done(oi_digest(ball)),
+                |ctx| oi_digest(&ctx.ball(radius)),
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_expand_ladders_identical_everywhere() {
+    // Expand until the ball covers ≥ 12 nodes or radius 6 is reached: the
+    // memo walks the same radius ladder `run_local`'s loop walks, so the
+    // per-node `RoundStats` must agree too.
+    for (tag_, g) in generator_grid() {
+        let net = network_for(&g);
+        assert_memo_equals_reference(
+            tag_,
+            &net,
+            0,
+            |ball| {
+                let r = ball.radius();
+                if ball.n() >= 12 || r >= 6 {
+                    MemoStep::Done((r, oi_digest(ball)))
+                } else {
+                    MemoStep::Expand(r + 1)
+                }
+            },
+            |ctx| {
+                let mut r = 0;
+                loop {
+                    let ball = ctx.ball(r);
+                    if ball.n() >= 12 || r >= 6 {
+                        return (r, oi_digest(&ball));
+                    }
+                    r += 1;
+                }
+            },
+        );
+    }
+}
+
+/// Test error carrying a node-specific payload; the memo path must
+/// reproduce it exactly by replaying the failing node, never by sharing a
+/// stored error across a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TestErr {
+    Algo(String),
+    Oi(NotOrderInvariant),
+}
+
+impl From<NotOrderInvariant> for TestErr {
+    fn from(e: NotOrderInvariant) -> Self {
+        TestErr::Oi(e)
+    }
+}
+
+#[test]
+fn fallible_first_error_choice_matches_sequential() {
+    // Which nodes fail is order-invariant (a property of the labeled
+    // ball); the error *payload* names the concrete failing node.
+    for (tag_, g) in generator_grid() {
+        let net = network_for(&g);
+        for radius in 0..=2 {
+            let fails = |ball: &Ball<u32>| *ball.input(ball.center()) % 5 == 3;
+            let step = |ball: &Ball<u32>| -> Result<MemoStep<(usize, usize, u64, usize)>, TestErr> {
+                if fails(ball) {
+                    Err(TestErr::Algo(format!(
+                        "uid {} refused",
+                        ball.uid(ball.center())
+                    )))
+                } else {
+                    Ok(MemoStep::Done(oi_digest(ball)))
+                }
+            };
+            let reference = run_local_fallible(&net, |ctx: &NodeCtx<u32>| -> Result<_, TestErr> {
+                let ball = ctx.ball(radius);
+                if fails(&ball) {
+                    Err(TestErr::Algo(format!(
+                        "uid {} refused",
+                        ball.uid(ball.center())
+                    )))
+                } else {
+                    Ok(oi_digest(&ball))
+                }
+            });
+            let seq = run_local_memo_fallible(&net, radius, tag, step);
+            assert_eq!(seq, reference, "{tag_}/r{radius}: fallible memo seq");
+            for threads in THREAD_GRID {
+                let par = run_local_memo_fallible_par_with(&net, threads, radius, tag, step);
+                assert_eq!(
+                    par, reference,
+                    "{tag_}/r{radius}: fallible memo par, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn order_sensitive_step_is_refused_not_mis_shared() {
+    // Raw uid values are order-*sensitive*: nodes of the same canonical
+    // class return different answers. Every memo entry point must detect
+    // this (via verify-on-reuse or shard merging) and refuse. A cycle with
+    // constant inputs puts every node in one class, so detection is
+    // guaranteed at the first reuse.
+    let net = Network::with_ids(
+        generators::cycle(24),
+        lad_graph::IdAssignment::random_permutation(24, 7),
+    )
+    .with_inputs(vec![0u32; 24]);
+    let step = |ball: &Ball<u32>| MemoStep::Done(ball.uid(ball.center()));
+    assert!(
+        run_local_memo(&net, 1, tag, step).is_err(),
+        "sequential memo accepted an order-sensitive step"
+    );
+    for threads in THREAD_GRID {
+        assert!(
+            run_local_memo_par_with(&net, threads, 1, tag, step).is_err(),
+            "parallel memo ({threads} threads) accepted an order-sensitive step"
+        );
+    }
+    let fallible = |ball: &Ball<u32>| -> Result<MemoStep<u64>, TestErr> {
+        Ok(MemoStep::Done(ball.uid(ball.center())))
+    };
+    assert!(matches!(
+        run_local_memo_fallible(&net, 1, tag, fallible),
+        Err(TestErr::Oi(_))
+    ));
+    for threads in THREAD_GRID {
+        assert!(matches!(
+            run_local_memo_fallible_par_with(&net, threads, 1, tag, fallible),
+            Err(TestErr::Oi(_))
+        ));
+    }
+}
+
+#[test]
+fn order_sensitive_expand_ladder_is_refused() {
+    // Order sensitivity hiding in the *ladder shape* (how far a node
+    // expands depends on its uid value) must be caught as well.
+    let net = Network::with_ids(
+        generators::cycle(24),
+        lad_graph::IdAssignment::random_permutation(24, 11),
+    )
+    .with_inputs(vec![0u32; 24]);
+    let step = |ball: &Ball<u32>| {
+        let r = ball.radius();
+        if r > (ball.uid(ball.center()) % 3) as usize {
+            MemoStep::Done(ball.n())
+        } else {
+            MemoStep::Expand(r + 1)
+        }
+    };
+    assert!(
+        run_local_memo(&net, 0, tag, step).is_err(),
+        "memo accepted a uid-dependent expansion ladder"
+    );
+}
+
+/// Builds the `family`-th random graph family at size `n` with `seed`
+/// (same grid as `equivalence.rs`).
+fn arb_family(family: usize, n: usize, seed: u64) -> Graph {
+    match family {
+        0 => generators::path(n.max(2)),
+        1 => generators::cycle(n.max(3)),
+        2 => generators::random_tree(n.max(2), seed),
+        3 => generators::random_bounded_degree(n, 4, 2 * n, seed),
+        4 => {
+            let side = (n / 2).max(2);
+            generators::random_bipartite_regular(side, 2, seed)
+        }
+        5 => generators::random_regular(
+            if n.is_multiple_of(2) {
+                n.max(4)
+            } else {
+                n.max(4) + 1
+            },
+            3,
+            seed,
+        ),
+        6 => {
+            let w = (n as f64).sqrt().ceil() as usize;
+            generators::grid2d(w.max(2), w.max(2), seed.is_multiple_of(2))
+        }
+        _ => generators::random_torus_patch(6, 6, 0.7 + (seed % 3) as f64 * 0.1, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn memo_equals_sequential_on_random_shapes(
+        family in 0usize..8,
+        n in 8usize..40,
+        seed in 0u64..1_000,
+        threads in 1usize..10,
+        radius in 0usize..4,
+    ) {
+        let net = network_for(&arb_family(family, n, seed));
+        let expected = run_local(&net, |ctx: &NodeCtx<u32>| oi_digest(&ctx.ball(radius)));
+        let step = |ball: &Ball<u32>| MemoStep::Done(oi_digest(ball));
+        prop_assert_eq!(
+            run_local_memo(&net, radius, tag, step).expect("order-invariant"),
+            expected.clone()
+        );
+        prop_assert_eq!(
+            run_local_memo_par_with(&net, threads, radius, tag, step).expect("order-invariant"),
+            expected
+        );
+    }
+
+    #[test]
+    fn memo_error_choice_matches_sequential_on_random_failure_sets(
+        family in 0usize..8,
+        n in 8usize..40,
+        seed in 0u64..1_000,
+        threads in 2usize..10,
+        modulus in 2u32..7,
+    ) {
+        let net = network_for(&arb_family(family, n, seed));
+        let fails = move |ball: &Ball<u32>| (*ball.input(ball.center())).is_multiple_of(modulus);
+        let reference = run_local_fallible(&net, |ctx: &NodeCtx<u32>| -> Result<_, TestErr> {
+            let ball = ctx.ball(1);
+            if fails(&ball) {
+                Err(TestErr::Algo(format!("uid {}", ball.uid(ball.center()))))
+            } else {
+                Ok(oi_digest(&ball))
+            }
+        });
+        let step = |ball: &Ball<u32>| -> Result<MemoStep<(usize, usize, u64, usize)>, TestErr> {
+            if fails(ball) {
+                Err(TestErr::Algo(format!("uid {}", ball.uid(ball.center()))))
+            } else {
+                Ok(MemoStep::Done(oi_digest(ball)))
+            }
+        };
+        prop_assert_eq!(run_local_memo_fallible(&net, 1, tag, step), reference.clone());
+        prop_assert_eq!(
+            run_local_memo_fallible_par_with(&net, threads, 1, tag, step),
+            reference
+        );
+    }
+}
