@@ -5,11 +5,13 @@
 //!
 //! * `encode_s` — centralized encoder wall-clock (min over reps);
 //! * `decode_s` — LOCAL decoder wall-clock over the advised network
-//!   (min over reps), split into `gather_s` (ball gathering + canonical
-//!   keying) and `eval_s` (decoder-step evaluations) as attributed by the
-//!   memoized executor, plus the memo `hit_rate` (share of per-node
-//!   lookups served from an already-decoded canonical class; 0 on
-//!   schemas/paths that bypass the memo);
+//!   (min over reps), split into `gather_s` (shared shell sweep + canonical
+//!   keying; itself split into `sweep_s` and `key_s`) and `eval_s`
+//!   (decoder-step evaluations) as attributed by the memoized executor,
+//!   plus the memo `hit_rate` (share of per-node lookups served from an
+//!   already-decoded canonical class; 0 on schemas/paths that bypass the
+//!   memo) and `fp_reject_rate` (share of misses rejected by the class
+//!   pre-fingerprint before any exact key comparison);
 //! * advice shape — total bits, max bits per node, holder count, kind —
 //!   straight from [`AdviceMap::stats`];
 //! * `rounds` — decoder locality as measured by the runtime;
@@ -121,15 +123,19 @@ fn measure<S: AdviceSchema>(
         }
     }
     let gather_s = memo.gather_ns as f64 / 1e9;
+    let sweep_s = memo.sweep_ns as f64 / 1e9;
+    let key_s = memo.key_ns as f64 / 1e9;
     let eval_s = memo.eval_ns as f64 / 1e9;
     let hit_rate = memo.hit_rate();
+    let fp_reject_rate = memo.fp_reject_rate();
     let total_s = encode_s + decode_s;
     let a = advice.stats();
     let rounds = stats.rounds();
     let nodes_per_s = n as f64 / total_s;
     eprintln!(
         "{label:>16} {family:>6} n={n:<7} encode {encode_s:.4}s  decode {decode_s:.4}s  \
-         (gather {gather_s:.4}s eval {eval_s:.4}s hit {hit_rate:.3})  \
+         (gather {gather_s:.4}s = sweep {sweep_s:.4}s + key {key_s:.4}s, eval {eval_s:.4}s, \
+         hit {hit_rate:.3}, fp-reject {fp_reject_rate:.3})  \
          {nodes_per_s:>10.0} nodes/s  {} bits on {} holders  T={rounds}  verified={verified}",
         a.total_bits, a.holders,
     );
@@ -137,8 +143,9 @@ fn measure<S: AdviceSchema>(
         json: format!(
             "    {{\"schema\": \"{label}\", \"family\": \"{family}\", \"n\": {n}, \
              \"reps\": {reps}, \"encode_s\": {encode_s:.6}, \"decode_s\": {decode_s:.6}, \
-             \"gather_s\": {gather_s:.6}, \"eval_s\": {eval_s:.6}, \
-             \"hit_rate\": {hit_rate:.4}, \
+             \"gather_s\": {gather_s:.6}, \"sweep_s\": {sweep_s:.6}, \"key_s\": {key_s:.6}, \
+             \"eval_s\": {eval_s:.6}, \
+             \"hit_rate\": {hit_rate:.4}, \"fp_reject_rate\": {fp_reject_rate:.4}, \
              \"total_s\": {total_s:.6}, \"nodes_per_s\": {nodes_per_s:.0}, \
              \"advice_total_bits\": {}, \"advice_max_bits\": {}, \"advice_holders\": {}, \
              \"advice_kind\": \"{:?}\", \"rounds\": {rounds}, \"verified\": {verified}}}",

@@ -1,0 +1,328 @@
+//! Bitset frontier sweeps: one BFS that serves up to 64 centers at once.
+//!
+//! A radius-`T` ball gather is a bounded BFS; gathering the balls of many
+//! *nearby* centers one at a time re-walks almost the same edges once per
+//! center, because adjacent balls overlap in all but an `O(T·Δ)` frontier.
+//! [`BitFrontier`] shares that work: each center of a *tile* (at most 64
+//! centers) owns one bit of a `u64`, and a single sweep propagates all
+//! bits simultaneously — every edge of the union of the balls is relaxed
+//! once per round with a word-wide OR instead of once per center.
+//!
+//! The sweep records, for every round `d`, the list of `(node, mask)`
+//! pairs where `mask` is the set of centers whose BFS first reaches `node`
+//! at distance exactly `d` — the distance-`d` **shell**. A center's
+//! radius-`r` ball membership is exactly its bits in shells `0..=r`, so
+//! one sweep answers membership (and, in `lad-runtime`, canonical-key)
+//! queries for the whole tile at every radius up to the sweep depth.
+//!
+//! Bookkeeping is epoch-stamped and sized to the *touched* region (the
+//! union of the tile's balls), not the graph, so a `BitFrontier` is cheap
+//! to reuse across tiles of a large graph.
+//!
+//! # Example
+//!
+//! ```
+//! use lad_graph::{frontier::BitFrontier, generators, NodeId};
+//!
+//! let g = generators::cycle(12);
+//! let mut f = BitFrontier::new(g.n());
+//! f.start(&g, &[NodeId(0), NodeId(1)]);
+//! f.extend(&g, 2);
+//! // Shell 0 is the centers themselves; bit b belongs to centers[b].
+//! let shell0: Vec<_> = f.shell(0).collect();
+//! assert_eq!(shell0, vec![(NodeId(0), 0b01), (NodeId(1), 0b10)]);
+//! // Node 2 is first reached at distance 2 by center 0, distance 1 by
+//! // center 1.
+//! assert_eq!(f.shell(1).find(|&(v, _)| v == NodeId(2)).unwrap().1, 0b10);
+//! assert_eq!(f.shell(2).find(|&(v, _)| v == NodeId(2)).unwrap().1, 0b01);
+//! ```
+
+use crate::graph::{Graph, NodeId};
+
+/// The maximum number of centers a single [`BitFrontier`] sweep serves —
+/// one bit of a `u64` per center.
+pub const TILE_WIDTH: usize = 64;
+
+/// A multi-source bitset BFS over a tile of at most [`TILE_WIDTH`]
+/// centers. See the [module docs](self) for the idea.
+#[derive(Debug)]
+pub struct BitFrontier {
+    /// Packed `epoch << 32 | dense index` per graph node: a node is
+    /// *touched* iff the high half equals the current epoch, and the dense
+    /// index in the low half is valid exactly then. One word keeps the
+    /// relax loop's membership test and dense lookup to a single random
+    /// memory access per neighbor.
+    slot: Vec<u64>,
+    epoch: u32,
+    /// Dense index → graph node, in first-touch order.
+    touched: Vec<NodeId>,
+    /// Dense index → centers that reached the node at ≤ the swept radius.
+    mask: Vec<u64>,
+    /// Dense index → bits arriving in the round currently being relaxed.
+    pending: Vec<u64>,
+    /// Dense indices with nonzero `pending`, for an O(frontier) reset.
+    pending_touched: Vec<u32>,
+    /// Concatenated shells: `(dense index, first-reach mask)` per round.
+    /// Dense indices let consumers index their own per-touched-node tables
+    /// without a node → dense lookup per shell entry.
+    log: Vec<(u32, u64)>,
+    /// `shell d = log[shell_bounds[d] .. shell_bounds[d + 1]]`.
+    shell_bounds: Vec<usize>,
+}
+
+impl BitFrontier {
+    /// A frontier for graphs of up to `n` nodes (grows on demand).
+    pub fn new(n: usize) -> Self {
+        BitFrontier {
+            slot: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+            mask: Vec::new(),
+            pending: Vec::new(),
+            pending_touched: Vec::new(),
+            log: Vec::new(),
+            shell_bounds: vec![0],
+        }
+    }
+
+    /// Grows the per-node tables to cover an `n`-node graph. New entries
+    /// carry stamp 0, which never equals a live epoch.
+    pub fn ensure(&mut self, n: usize) {
+        if self.slot.len() < n {
+            self.slot.resize(n, 0);
+        }
+    }
+
+    /// Begins a sweep for `centers` (shell 0): center `centers[b]` owns
+    /// bit `b`. Previous sweep state is discarded in O(touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` exceeds [`TILE_WIDTH`] entries or repeats a
+    /// node.
+    pub fn start(&mut self, g: &Graph, centers: &[NodeId]) {
+        assert!(
+            centers.len() <= TILE_WIDTH,
+            "a tile holds at most {TILE_WIDTH} centers"
+        );
+        self.ensure(g.n());
+        if self.epoch == u32::MAX {
+            self.slot.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.mask.clear();
+        self.pending.clear();
+        self.pending_touched.clear();
+        self.log.clear();
+        self.shell_bounds.clear();
+        self.shell_bounds.push(0);
+        for (b, &c) in centers.iter().enumerate() {
+            let d = self.touch(c);
+            assert_eq!(self.mask[d], 0, "duplicate center {c:?}");
+            self.mask[d] = 1u64 << b;
+            self.log.push((d as u32, 1u64 << b));
+        }
+        self.shell_bounds.push(self.log.len());
+    }
+
+    /// Dense index of `v`, registering it on first touch.
+    #[inline]
+    fn touch(&mut self, v: NodeId) -> usize {
+        let i = v.index();
+        let s = self.slot[i];
+        if (s >> 32) as u32 == self.epoch {
+            return s as u32 as usize;
+        }
+        let dense = self.touched.len();
+        self.slot[i] = (self.epoch as u64) << 32 | dense as u64;
+        self.touched.push(v);
+        self.mask.push(0);
+        self.pending.push(0);
+        dense
+    }
+
+    /// Continues the sweep until shells `0..=radius` exist. Rounds with an
+    /// empty frontier still record (empty) shells, so `shell(d)` is valid
+    /// for every `d ≤ radius` even past the graph's eccentricity.
+    pub fn extend(&mut self, g: &Graph, radius: usize) {
+        while self.radius() < radius {
+            let d = self.radius();
+            // Relax every edge out of shell `d`: only the bits that *first
+            // arrived* at distance d propagate — earlier bits already
+            // propagated from this node in their own arrival round.
+            let (lo, hi) = (self.shell_bounds[d], self.shell_bounds[d + 1]);
+            for i in lo..hi {
+                let (dv, bits) = self.log[i];
+                let v = self.touched[dv as usize];
+                for &u in g.neighbors(v) {
+                    let du = self.touch(u);
+                    if self.pending[du] == 0 {
+                        self.pending_touched.push(du as u32);
+                    }
+                    self.pending[du] |= bits;
+                }
+            }
+            // Commit first arrivals: bits not already present become the
+            // distance-(d+1) shell entry of their node.
+            for pi in 0..self.pending_touched.len() {
+                let du = self.pending_touched[pi] as usize;
+                let new = self.pending[du] & !self.mask[du];
+                self.pending[du] = 0;
+                if new != 0 {
+                    self.mask[du] |= new;
+                    self.log.push((du as u32, new));
+                }
+            }
+            self.pending_touched.clear();
+            self.shell_bounds.push(self.log.len());
+        }
+    }
+
+    /// The radius the sweep is complete to.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.shell_bounds.len() - 2
+    }
+
+    /// The distance-`d` shell: `(node, mask)` pairs where `mask` is the
+    /// set of centers first reaching `node` at distance exactly `d`, in
+    /// deterministic sweep order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not reached `d` yet.
+    #[inline]
+    pub fn shell(&self, d: usize) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.shell_dense(d)
+            .iter()
+            .map(|&(dv, m)| (self.touched[dv as usize], m))
+    }
+
+    /// [`BitFrontier::shell`] as raw `(dense index, mask)` entries — the
+    /// zero-lookup form consumers with their own dense-indexed tables want.
+    #[inline]
+    pub fn shell_dense(&self, d: usize) -> &[(u32, u64)] {
+        &self.log[self.shell_bounds[d]..self.shell_bounds[d + 1]]
+    }
+
+    /// The nodes touched by the sweep so far (the union of all balls), in
+    /// first-touch order; `dense_index` values index into this.
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// The dense index of `v` within [`BitFrontier::touched`], if the
+    /// sweep reached it.
+    #[inline]
+    pub fn dense_index(&self, v: NodeId) -> Option<usize> {
+        let s = self.slot[v.index()];
+        ((s >> 32) as u32 == self.epoch).then_some(s as u32 as usize)
+    }
+
+    /// The centers that reached `v` within the swept radius, as a bitmask.
+    #[inline]
+    pub fn reached_mask(&self, v: NodeId) -> u64 {
+        self.dense_index(v).map_or(0, |d| self.mask[d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    /// Reference: per-center BFS distances must equal first-reach shells.
+    fn check_against_bfs(g: &Graph, centers: &[NodeId], radius: usize) {
+        let mut f = BitFrontier::new(g.n());
+        f.start(g, centers);
+        f.extend(g, radius);
+        for (b, &c) in centers.iter().enumerate() {
+            let dist = traversal::bfs_distances(g, c);
+            let mut seen = vec![false; g.n()];
+            for d in 0..=radius {
+                for (v, mask) in f.shell(d) {
+                    if mask & (1 << b) != 0 {
+                        assert_eq!(dist[v.index()], Some(d), "center {c:?} node {v:?}");
+                        assert!(!seen[v.index()], "node {v:?} reported twice");
+                        seen[v.index()] = true;
+                    }
+                }
+            }
+            for v in g.nodes() {
+                let expect = dist[v.index()].is_some_and(|d| d <= radius);
+                assert_eq!(seen[v.index()], expect, "center {c:?} membership {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shells_match_per_center_bfs() {
+        for g in [
+            generators::cycle(16),
+            generators::path(11),
+            generators::grid2d(5, 6, true),
+            generators::star(7),
+            generators::complete(6),
+            generators::disjoint_union(&[generators::cycle(4), generators::path(3)]),
+        ] {
+            let centers: Vec<NodeId> = g.nodes().take(TILE_WIDTH).collect();
+            for radius in 0..5 {
+                check_against_bfs(&g, &centers, radius);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_tiles_and_reuse() {
+        let g = generators::grid2d(8, 8, false);
+        let mut f = BitFrontier::new(g.n());
+        // Two sweeps on the same frontier: the second must not see state
+        // from the first.
+        f.start(&g, &[NodeId(0)]);
+        f.extend(&g, 6);
+        let first_touched = f.touched().len();
+        assert!(first_touched > 1);
+        f.start(&g, &[NodeId(63)]);
+        f.extend(&g, 1);
+        assert_eq!(f.shell(0).collect::<Vec<_>>(), vec![(NodeId(63), 1)]);
+        assert_eq!(f.shell_dense(1).len(), 2); // corner of the open grid
+        assert!(f.reached_mask(NodeId(0)) == 0);
+    }
+
+    #[test]
+    fn empty_frontier_keeps_extending() {
+        let g = generators::path(3);
+        let mut f = BitFrontier::new(g.n());
+        f.start(&g, &[NodeId(1)]);
+        f.extend(&g, 5);
+        assert_eq!(f.radius(), 5);
+        assert_eq!(f.shell_dense(1).len(), 2);
+        for d in 2..=5 {
+            assert!(f.shell_dense(d).is_empty(), "shell {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate center")]
+    fn duplicate_centers_rejected() {
+        let g = generators::cycle(4);
+        let mut f = BitFrontier::new(g.n());
+        f.start(&g, &[NodeId(2), NodeId(2)]);
+    }
+
+    #[test]
+    fn grows_for_larger_graphs() {
+        let small = generators::path(4);
+        let big = generators::cycle(32);
+        let mut f = BitFrontier::new(small.n());
+        f.start(&small, &[NodeId(0)]);
+        f.extend(&small, 2);
+        f.start(&big, &[NodeId(20), NodeId(21)]);
+        f.extend(&big, 3);
+        assert_eq!(f.reached_mask(NodeId(24)), 0b10);
+        assert_eq!(f.reached_mask(NodeId(17)), 0b01);
+    }
+}

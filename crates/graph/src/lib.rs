@@ -41,6 +41,7 @@
 pub mod builder;
 pub mod coloring;
 pub mod dot;
+pub mod frontier;
 pub mod generators;
 pub mod graph;
 pub mod growth;
@@ -52,6 +53,7 @@ pub mod subgraph;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use frontier::BitFrontier;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use ids::IdAssignment;
 pub use orientation::{EulerPartition, Orientation, Trail};

@@ -289,7 +289,7 @@ impl BallMembers {
 /// ([`Ball::collect_reference`]) keeps its own `GraphBuilder`-based copy of
 /// this assembly, so the two executor paths remain independently
 /// implemented and the differential tests compare real alternatives.
-fn build_from_members<In: Clone>(
+pub(crate) fn build_from_members<In: Clone>(
     net: &Network<In>,
     members: &[(NodeId, usize)],
     radius: usize,

@@ -43,6 +43,14 @@ impl CanonicalKey {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// A key from an externally serialized word sequence — the shell-indexed
+    /// gather (`crate::shell`) emits the exact layout of
+    /// [`canonicalize_tagged_with`] into a reusable buffer and only
+    /// materializes a `CanonicalKey` when a class is first seen.
+    pub(crate) fn from_word_slice(words: &[u64]) -> Self {
+        CanonicalKey::new(words.to_vec())
+    }
 }
 
 impl PartialEq for CanonicalKey {

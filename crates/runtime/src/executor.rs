@@ -13,8 +13,8 @@
 //! | [`run_local_cached`] | shared [`ViewCache`] | sequential |
 //! | [`run_local_par`] | worker-local scratch + memo | contiguous chunks across threads |
 //! | [`run_local_par_cached`] | shared [`ViewCache`] | contiguous chunks across threads |
-//! | [`run_local_memo`] | incremental gather, decode once per canonical class | BFS node order |
-//! | [`run_local_memo_par`] | per-worker class memos, replay-merged | contiguous chunks across threads |
+//! | [`run_local_memo`] | shared shell sweep per 64-center tile, decode once per canonical class | BFS tile order |
+//! | [`run_local_memo_par`] | per-worker shell engines + class memos, replay-merged | contiguous chunks across threads |
 //!
 //! (`run_local_fallible*` variants propagate the first per-node error in
 //! node-index order — also independent of the schedule.)
@@ -38,6 +38,8 @@ use crate::canonical::{key_of_members, CanonScratch, CanonicalKey};
 use crate::ctx::NodeCtx;
 use crate::lookup::NotOrderInvariant;
 use crate::network::Network;
+use crate::shell::ShellEngine;
+use lad_graph::frontier::TILE_WIDTH;
 use lad_graph::{Graph, NodeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -580,8 +582,19 @@ pub struct MemoStats {
     pub hits: u64,
     /// Safety-net re-evaluations of already-memoized entries.
     pub verifications: u64,
-    /// Nanoseconds spent gathering memberships and computing keys.
+    /// Misses whose class pre-fingerprint was absent from the memo — the
+    /// probe was rejected before any exact word comparison. Always a subset
+    /// of `classes`; a probe is counted once, never as both a fingerprint
+    /// reject and a scanned miss (`lookups == hits + classes` holds).
+    pub fp_rejects: u64,
+    /// Nanoseconds spent gathering memberships and computing keys —
+    /// exactly `sweep_ns + key_ns`.
     pub gather_ns: u64,
+    /// Nanoseconds in the shared frontier sweep and per-shell bookkeeping
+    /// (membership, uid-rank merge, edge appends).
+    pub sweep_ns: u64,
+    /// Nanoseconds serializing canonical key words and probing the memo.
+    pub key_ns: u64,
     /// Nanoseconds spent materializing balls and evaluating the step.
     pub eval_ns: u64,
 }
@@ -596,12 +609,27 @@ impl MemoStats {
         }
     }
 
+    /// Fraction of misses rejected by the class pre-fingerprint alone,
+    /// i.e. without comparing any exact key words (`0.0` when no miss
+    /// occurred). High is good: a low rate means fingerprint collisions
+    /// are forcing word comparisons on fresh classes.
+    pub fn fp_reject_rate(&self) -> f64 {
+        if self.classes == 0 {
+            0.0
+        } else {
+            self.fp_rejects as f64 / self.classes as f64
+        }
+    }
+
     fn accumulate(&mut self, other: &MemoStats) {
         self.lookups += other.lookups;
         self.classes += other.classes;
         self.hits += other.hits;
         self.verifications += other.verifications;
+        self.fp_rejects += other.fp_rejects;
         self.gather_ns += other.gather_ns;
+        self.sweep_ns += other.sweep_ns;
+        self.key_ns += other.key_ns;
         self.eval_ns += other.eval_ns;
     }
 }
@@ -610,7 +638,10 @@ static MEMO_LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static MEMO_CLASSES: AtomicU64 = AtomicU64::new(0);
 static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static MEMO_VERIFICATIONS: AtomicU64 = AtomicU64::new(0);
+static MEMO_FP_REJECTS: AtomicU64 = AtomicU64::new(0);
 static MEMO_GATHER_NS: AtomicU64 = AtomicU64::new(0);
+static MEMO_SWEEP_NS: AtomicU64 = AtomicU64::new(0);
+static MEMO_KEY_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_EVAL_NS: AtomicU64 = AtomicU64::new(0);
 
 fn flush_memo_stats(s: &MemoStats) {
@@ -618,7 +649,10 @@ fn flush_memo_stats(s: &MemoStats) {
     MEMO_CLASSES.fetch_add(s.classes, Ordering::Relaxed);
     MEMO_HITS.fetch_add(s.hits, Ordering::Relaxed);
     MEMO_VERIFICATIONS.fetch_add(s.verifications, Ordering::Relaxed);
+    MEMO_FP_REJECTS.fetch_add(s.fp_rejects, Ordering::Relaxed);
     MEMO_GATHER_NS.fetch_add(s.gather_ns, Ordering::Relaxed);
+    MEMO_SWEEP_NS.fetch_add(s.sweep_ns, Ordering::Relaxed);
+    MEMO_KEY_NS.fetch_add(s.key_ns, Ordering::Relaxed);
     MEMO_EVAL_NS.fetch_add(s.eval_ns, Ordering::Relaxed);
 }
 
@@ -632,7 +666,10 @@ pub fn memo_stats_reset() {
         &MEMO_CLASSES,
         &MEMO_HITS,
         &MEMO_VERIFICATIONS,
+        &MEMO_FP_REJECTS,
         &MEMO_GATHER_NS,
+        &MEMO_SWEEP_NS,
+        &MEMO_KEY_NS,
         &MEMO_EVAL_NS,
     ] {
         c.store(0, Ordering::Relaxed);
@@ -648,7 +685,10 @@ pub fn memo_stats() -> MemoStats {
         classes: MEMO_CLASSES.load(Ordering::Relaxed),
         hits: MEMO_HITS.load(Ordering::Relaxed),
         verifications: MEMO_VERIFICATIONS.load(Ordering::Relaxed),
+        fp_rejects: MEMO_FP_REJECTS.load(Ordering::Relaxed),
         gather_ns: MEMO_GATHER_NS.load(Ordering::Relaxed),
+        sweep_ns: MEMO_SWEEP_NS.load(Ordering::Relaxed),
+        key_ns: MEMO_KEY_NS.load(Ordering::Relaxed),
         eval_ns: MEMO_EVAL_NS.load(Ordering::Relaxed),
     }
 }
@@ -755,142 +795,247 @@ fn bfs_visit_order(g: &Graph) -> Vec<NodeId> {
     order
 }
 
-/// Runs one node's decode ladder against a class memo. On a memo miss the
-/// ball is materialized and the step evaluated (then shared with the whole
-/// class); on a hit the node pays only the membership gather and keying.
+/// Two-level class memo: classes bucketed by pre-fingerprint, exact keys
+/// compared word-for-word within a bucket. A probe whose fingerprint is
+/// absent is rejected without touching any key words; a present bucket is
+/// scanned with slice comparisons against the engine's reusable emission
+/// buffer, so hits allocate nothing — an owned [`CanonicalKey`] is only
+/// materialized when a new class is inserted.
+type Bucket<Out> = Vec<(CanonicalKey, MemoEntry<Out>)>;
+
+struct ClassMemo<Out> {
+    buckets: HashMap<u64, Bucket<Out>, std::hash::BuildHasherDefault<KeyHasher>>,
+}
+
+impl<Out> Default for ClassMemo<Out> {
+    fn default() -> Self {
+        ClassMemo {
+            buckets: HashMap::default(),
+        }
+    }
+}
+
+/// Outcome of a [`ClassMemo::probe`], split so the accounting can tell a
+/// fingerprint-rejected miss from a scanned-bucket miss without counting
+/// either twice.
+enum Probe {
+    /// Exact match at this bucket position.
+    Hit(usize),
+    /// No bucket for the fingerprint: rejected before exact keying.
+    MissRejected,
+    /// Bucket existed (fingerprint collision) but no key words matched.
+    MissScanned,
+}
+
+impl<Out> ClassMemo<Out> {
+    /// Probes the memo with a caller-supplied word-equality test — the
+    /// engine streams its would-be key serialization against each
+    /// candidate's stored words, so a probe materializes nothing. The test
+    /// must be a pure equality check (same verdict for the same candidate);
+    /// bucket order is first-inserted-first, so within a fingerprint bucket
+    /// the probe cost is one streamed comparison per colliding class, each
+    /// failing at the first differing word.
+    fn probe_with(&self, fp: u64, mut eq: impl FnMut(&[u64]) -> bool) -> Probe {
+        match self.buckets.get(&fp) {
+            None => Probe::MissRejected,
+            Some(bucket) => bucket
+                .iter()
+                .position(|(key, _)| eq(key.words()))
+                .map_or(Probe::MissScanned, Probe::Hit),
+        }
+    }
+
+    /// Fetches a hit's entry and moves its class to the bucket front, so a
+    /// run of probes matching the same class confirms against the first
+    /// candidate. Bucket order is pure probe-cost heuristic: classes in a
+    /// bucket have distinct keys, so a probe's verdict is order-blind.
+    fn entry_mut(&mut self, fp: u64, idx: usize) -> &mut MemoEntry<Out> {
+        let bucket = self.buckets.get_mut(&fp).expect("probed bucket");
+        bucket.swap(0, idx);
+        &mut bucket[0].1
+    }
+
+    fn insert(&mut self, fp: u64, key: CanonicalKey, entry: MemoEntry<Out>) {
+        self.buckets.entry(fp).or_default().push((key, entry));
+    }
+
+    fn into_entries(self) -> impl Iterator<Item = (CanonicalKey, MemoEntry<Out>)> {
+        self.buckets.into_values().flatten()
+    }
+}
+
+/// Runs the decode ladders of one tile of centers against a class memo,
+/// sharing a single shell-indexed sweep ([`ShellEngine`]) across all of
+/// them. On a memo miss the ball is materialized (from the canonical
+/// membership) and the step evaluated, then shared with the whole class;
+/// on a hit a center pays only its share of the sweep and the keying.
 /// Every entry is re-evaluated on a geometric schedule of its reuses
 /// (1st, 2nd, 4th, 8th, … hit) as a differential safety net: a step whose
 /// output is *not* a function of the canonical view is reported as
 /// [`NotOrderInvariant`] instead of silently decoding wrong.
+///
+/// Output and radius slots are addressed at `v.index() - base`, so the
+/// sequential driver passes full slices (`base = 0`) and the parallel
+/// driver passes its chunk (`base =` chunk start).
 #[allow(clippy::too_many_arguments)]
-fn memo_process_node<In: Clone, Out: Clone + PartialEq, E>(
+fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
     net: &Network<In>,
-    v: NodeId,
+    centers: &[NodeId],
+    base: usize,
     initial_radius: usize,
     input_tag: &impl Fn(&In, &mut Vec<u64>),
     step: &impl Fn(&Ball<In>) -> Result<MemoStep<Out>, E>,
-    memo: &mut KeyHashMap<MemoEntry<Out>>,
-    scratch: &mut Scratch,
-    cscratch: &mut CanonScratch,
+    memo: &mut ClassMemo<Out>,
+    engine: &mut ShellEngine,
     stats: &mut MemoStats,
     failed: &mut Vec<usize>,
-    out_slot: &mut Option<Out>,
-    pn_slot: &mut usize,
+    outs: &mut [Option<Out>],
+    per_node: &mut [usize],
 ) -> Result<(), NotOrderInvariant> {
-    let g = net.graph();
     let t0 = Instant::now();
-    let mut members = BallMembers::gather(g, v, initial_radius, scratch);
-    let mut key = key_of_members(
-        net,
-        members.members(),
-        members.radius(),
-        |u| scratch.current_local(u),
-        input_tag,
-        cscratch,
-    );
-    stats.gather_ns += t0.elapsed().as_nanos() as u64;
-    loop {
-        stats.lookups += 1;
-        let next = match memo.get_mut(&key) {
-            Some(entry) => {
-                stats.hits += 1;
-                entry.hits += 1;
-                if entry.hits.is_power_of_two() {
-                    stats.verifications += 1;
-                    let t = Instant::now();
-                    let ball = members.build_current(net, scratch);
-                    let res = step(&ball);
-                    stats.eval_ns += t.elapsed().as_nanos() as u64;
-                    let agrees = match (&res, &entry.kind) {
-                        (Ok(MemoStep::Done(a)), MemoEntryKind::Done(b)) => a == b,
-                        (Ok(MemoStep::Expand(ra)), MemoEntryKind::Expand(rb)) => ra == rb,
-                        (Err(_), MemoEntryKind::Failed) => true,
-                        _ => false,
-                    };
-                    if !agrees {
-                        return Err(NotOrderInvariant { key });
-                    }
-                }
-                match &entry.kind {
-                    MemoEntryKind::Done(out) => {
-                        *out_slot = Some(out.clone());
-                        *pn_slot = members.radius();
-                        None
-                    }
-                    MemoEntryKind::Expand(r) => Some(*r),
-                    MemoEntryKind::Failed => {
-                        failed.push(v.index());
-                        *pn_slot = members.radius();
-                        None
-                    }
-                }
+    engine.start_tile(net, centers);
+    let dt = t0.elapsed().as_nanos() as u64;
+    stats.sweep_ns += dt;
+    stats.gather_ns += dt;
+    // `(bit, previous radius, target radius)`, `usize::MAX` = unstarted.
+    // Each wave is grouped by (previous, target) rung so one
+    // [`ShellEngine::extend_centers`] batch serves every center making the
+    // same hop — that batching is where the shared gather pays. Grouping
+    // permutes probe order within a wave, which is safe: memo entries are
+    // keyed by canonical class and every output is class-determined, so
+    // the decoded labeling cannot depend on which center created an entry.
+    let mut active: Vec<(usize, usize, usize)> = (0..centers.len())
+        .map(|bit| (bit, usize::MAX, initial_radius))
+        .collect();
+    let mut next: Vec<(usize, usize, usize)> = Vec::new();
+    let mut group: Vec<usize> = Vec::new();
+    while !active.is_empty() {
+        active.sort_unstable_by_key(|&(bit, prev, r)| (prev, r, bit));
+        let mut i = 0;
+        while i < active.len() {
+            let (_, prev, r) = active[i];
+            group.clear();
+            while i < active.len() && (active[i].1, active[i].2) == (prev, r) {
+                group.push(active[i].0);
+                i += 1;
             }
-            None => {
-                stats.classes += 1;
+            let t = Instant::now();
+            engine.extend_centers(net, &group, r, input_tag);
+            let dt = t.elapsed().as_nanos() as u64;
+            stats.sweep_ns += dt;
+            stats.gather_ns += dt;
+            for &bit in &group {
+                let v = centers[bit];
                 let t = Instant::now();
-                let ball = members.build_current(net, scratch);
-                let res = step(&ball);
-                stats.eval_ns += t.elapsed().as_nanos() as u64;
-                match res {
-                    Ok(MemoStep::Done(out)) => {
-                        *out_slot = Some(out.clone());
-                        *pn_slot = members.radius();
-                        memo.insert(
-                            key,
-                            MemoEntry {
-                                kind: MemoEntryKind::Done(out),
-                                hits: 0,
-                            },
-                        );
-                        None
+                // Hit path: stream-confirm against the fingerprint bucket's
+                // classes without materializing this center's key words — only
+                // a miss ever pays the full serialization (inside
+                // `canonical_key`, on insert).
+                let fp = engine.pre_fp(bit);
+                let probe = memo.probe_with(fp, |cand| engine.confirm(bit, cand));
+                let dt = t.elapsed().as_nanos() as u64;
+                stats.key_ns += dt;
+                stats.gather_ns += dt;
+                stats.lookups += 1;
+                match probe {
+                    Probe::Hit(idx) => {
+                        stats.hits += 1;
+                        let entry = memo.entry_mut(fp, idx);
+                        entry.hits += 1;
+                        let verify = entry.hits.is_power_of_two();
+                        let kind = match &entry.kind {
+                            MemoEntryKind::Done(out) => MemoEntryKind::Done(out.clone()),
+                            MemoEntryKind::Expand(r2) => MemoEntryKind::Expand(*r2),
+                            MemoEntryKind::Failed => MemoEntryKind::Failed,
+                        };
+                        if verify {
+                            stats.verifications += 1;
+                            let t = Instant::now();
+                            let ball = engine.build_ball(net, bit);
+                            let res = step(&ball);
+                            stats.eval_ns += t.elapsed().as_nanos() as u64;
+                            let agrees = match (&res, &kind) {
+                                (Ok(MemoStep::Done(a)), MemoEntryKind::Done(b)) => a == b,
+                                (Ok(MemoStep::Expand(ra)), MemoEntryKind::Expand(rb)) => ra == rb,
+                                (Err(_), MemoEntryKind::Failed) => true,
+                                _ => false,
+                            };
+                            if !agrees {
+                                return Err(NotOrderInvariant {
+                                    key: engine.canonical_key(bit),
+                                });
+                            }
+                        }
+                        match kind {
+                            MemoEntryKind::Done(out) => {
+                                outs[v.index() - base] = Some(out);
+                                per_node[v.index() - base] = r;
+                            }
+                            MemoEntryKind::Expand(r2) => next.push((bit, r, r2)),
+                            MemoEntryKind::Failed => {
+                                failed.push(v.index());
+                                per_node[v.index() - base] = r;
+                            }
+                        }
                     }
-                    Ok(MemoStep::Expand(r)) => {
-                        assert!(
-                            r > members.radius(),
-                            "MemoStep::Expand must strictly increase the radius"
-                        );
-                        memo.insert(
-                            key,
-                            MemoEntry {
-                                kind: MemoEntryKind::Expand(r),
-                                hits: 0,
-                            },
-                        );
-                        Some(r)
-                    }
-                    Err(_) => {
-                        failed.push(v.index());
-                        *pn_slot = members.radius();
-                        memo.insert(
-                            key,
-                            MemoEntry {
-                                kind: MemoEntryKind::Failed,
-                                hits: 0,
-                            },
-                        );
-                        None
+                    miss => {
+                        if matches!(miss, Probe::MissRejected) {
+                            stats.fp_rejects += 1;
+                        }
+                        stats.classes += 1;
+                        let t = Instant::now();
+                        let ball = engine.build_ball(net, bit);
+                        let res = step(&ball);
+                        stats.eval_ns += t.elapsed().as_nanos() as u64;
+                        let key = engine.canonical_key(bit);
+                        match res {
+                            Ok(MemoStep::Done(out)) => {
+                                outs[v.index() - base] = Some(out.clone());
+                                per_node[v.index() - base] = r;
+                                memo.insert(
+                                    fp,
+                                    key,
+                                    MemoEntry {
+                                        kind: MemoEntryKind::Done(out),
+                                        hits: 0,
+                                    },
+                                );
+                            }
+                            Ok(MemoStep::Expand(r2)) => {
+                                assert!(
+                                    r2 > r,
+                                    "MemoStep::Expand must strictly increase the radius"
+                                );
+                                memo.insert(
+                                    fp,
+                                    key,
+                                    MemoEntry {
+                                        kind: MemoEntryKind::Expand(r2),
+                                        hits: 0,
+                                    },
+                                );
+                                next.push((bit, r, r2));
+                            }
+                            Err(_) => {
+                                failed.push(v.index());
+                                per_node[v.index() - base] = r;
+                                memo.insert(
+                                    fp,
+                                    key,
+                                    MemoEntry {
+                                        kind: MemoEntryKind::Failed,
+                                        hits: 0,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
-            }
-        };
-        match next {
-            None => break,
-            Some(r) => {
-                let t = Instant::now();
-                members.expand(g, r, scratch);
-                key = key_of_members(
-                    net,
-                    members.members(),
-                    members.radius(),
-                    |u| scratch.current_local(u),
-                    input_tag,
-                    cscratch,
-                );
-                stats.gather_ns += t.elapsed().as_nanos() as u64;
             }
         }
+        active.clear();
+        std::mem::swap(&mut active, &mut next);
     }
-    members.recycle(scratch);
     Ok(())
 }
 
@@ -938,29 +1083,27 @@ fn run_memo_seq<In: Clone, Out: Clone + PartialEq, E: From<NotOrderInvariant>>(
     let g = net.graph();
     let n = g.n();
     let mut stats = MemoStats::default();
-    let mut scratch = Scratch::new(n);
-    let mut cscratch = CanonScratch::new();
-    let mut memo: KeyHashMap<MemoEntry<Out>> = HashMap::default();
+    let mut memo: ClassMemo<Out> = ClassMemo::default();
+    let mut engine = ShellEngine::new(net, &input_tag);
     let mut outs: Vec<Option<Out>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut per_node = vec![0usize; n];
     let mut failed: Vec<usize> = Vec::new();
-    for v in bfs_visit_order(g) {
-        let i = v.index();
-        // Split the slices so the borrow of one slot does not pin the rest.
-        let (out_slot, pn_slot) = (&mut outs[i], &mut per_node[i]);
-        if let Err(conflict) = memo_process_node(
+    // BFS visit order keeps consecutive tiles spatially coherent, so one
+    // shared frontier sweep covers 64 overlapping balls at once.
+    for tile in bfs_visit_order(g).chunks(TILE_WIDTH) {
+        if let Err(conflict) = memo_run_tile(
             net,
-            v,
+            tile,
+            0,
             initial_radius,
             &input_tag,
             &step,
             &mut memo,
-            &mut scratch,
-            &mut cscratch,
+            &mut engine,
             &mut stats,
             &mut failed,
-            out_slot,
-            pn_slot,
+            &mut outs,
+            &mut per_node,
         ) {
             flush_memo_stats(&stats);
             return Err(conflict.into());
@@ -968,6 +1111,8 @@ fn run_memo_seq<In: Clone, Out: Clone + PartialEq, E: From<NotOrderInvariant>>(
     }
     flush_memo_stats(&stats);
     if let Some(&i) = failed.iter().min() {
+        let mut scratch = Scratch::new(n);
+        let mut cscratch = CanonScratch::new();
         return Err(memo_first_error(
             net,
             NodeId::from_index(i),
@@ -1005,9 +1150,8 @@ where
     let chunk_len = n.div_ceil(threads.max(1)).max(1);
     let conflict: Mutex<Option<NotOrderInvariant>> = Mutex::new(None);
     // Per-worker shards, replay-merged after the join: (chunk start, class
-    // memo, failed node indices, counters).
-    let shards: Mutex<Vec<(usize, KeyHashMap<MemoEntry<Out>>, Vec<usize>)>> =
-        Mutex::new(Vec::new());
+    // memo, failed node indices).
+    let shards: Mutex<Vec<(usize, ClassMemo<Out>, Vec<usize>)>> = Mutex::new(Vec::new());
     let mut stats = MemoStats::default();
     let stats_total: Mutex<MemoStats> = Mutex::new(MemoStats::default());
     std::thread::scope(|scope| {
@@ -1022,28 +1166,29 @@ where
             pn_rest = rest;
             let (conflict, shards, stats_total) = (&conflict, &shards, &stats_total);
             scope.spawn(move || {
-                let mut scratch = Scratch::new(n);
-                let mut cscratch = CanonScratch::new();
-                let mut memo: KeyHashMap<MemoEntry<Out>> = HashMap::default();
+                let mut memo: ClassMemo<Out> = ClassMemo::default();
+                let mut engine = ShellEngine::new(net, input_tag);
                 let mut local = MemoStats::default();
                 let mut failed: Vec<usize> = Vec::new();
-                for (off, (out_slot, pn_slot)) in
-                    out_chunk.iter_mut().zip(pn_chunk.iter_mut()).enumerate()
-                {
-                    let v = NodeId::from_index(start + off);
-                    if let Err(c) = memo_process_node(
+                let mut tile_centers: Vec<NodeId> = Vec::with_capacity(TILE_WIDTH);
+                let mut off = 0usize;
+                while off < take {
+                    let t = TILE_WIDTH.min(take - off);
+                    tile_centers.clear();
+                    tile_centers.extend((0..t).map(|i| NodeId::from_index(start + off + i)));
+                    if let Err(c) = memo_run_tile(
                         net,
-                        v,
+                        &tile_centers,
+                        start,
                         initial_radius,
                         input_tag,
                         step,
                         &mut memo,
-                        &mut scratch,
-                        &mut cscratch,
+                        &mut engine,
                         &mut local,
                         &mut failed,
-                        out_slot,
-                        pn_slot,
+                        out_chunk,
+                        pn_chunk,
                     ) {
                         let mut slot = conflict.lock().expect("conflict slot poisoned");
                         if slot.is_none() {
@@ -1051,6 +1196,7 @@ where
                         }
                         break;
                     }
+                    off += t;
                 }
                 stats_total
                     .lock()
@@ -1078,7 +1224,7 @@ where
     let mut merged: KeyHashMap<MemoEntryKind<Out>> = HashMap::default();
     let mut failed: Vec<usize> = Vec::new();
     for (_, memo, shard_failed) in shards {
-        for (key, entry) in memo {
+        for (key, entry) in memo.into_entries() {
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(entry.kind);
@@ -1117,13 +1263,16 @@ where
 /// runs `step` once per distinct canonical class of advice-labeled balls
 /// and shares the output across every node in the class.
 ///
-/// Each node gathers its radius-`initial_radius` membership, keys it by
-/// [`CanonicalKey`] (inputs folded in through `input_tag`, which must be
-/// prefix-free — fixed arity or self-delimiting), and follows the ladder
-/// `step` prescribes: [`MemoStep::Done`] finishes the node,
-/// [`MemoStep::Expand`] grows the membership incrementally and rekeys.
-/// Nodes are visited in BFS order so neighboring balls are gathered by
-/// frontier deltas and classes repeat back to back.
+/// Nodes are processed in BFS order, in tiles of up to 64 centers that
+/// share a *single* shell-indexed frontier sweep: one bitset BFS stamps
+/// per-center distance shells for the whole tile at once, and each
+/// center's [`CanonicalKey`] (inputs folded in through `input_tag`, which
+/// must be prefix-free — fixed arity or self-delimiting) is serialized
+/// incrementally shell by shell. A commutative pre-fingerprint of the key
+/// buckets the memo, so most misses are rejected before any exact word
+/// comparison. The ladder `step` prescribes: [`MemoStep::Done`] finishes
+/// the node, [`MemoStep::Expand`] extends that center's sweep and re-keys
+/// only the new shells.
 ///
 /// Outputs, per-node radii, and error choice are identical to running the
 /// equivalent `ctx.ball(r)` ladder under [`run_local`] — provided `step`
@@ -1435,6 +1584,39 @@ mod tests {
         set_thread_override(None);
         let empty: Vec<usize> = Vec::new();
         assert_eq!(par_map(&empty, |_, &x: &usize| x), empty);
+    }
+
+    #[test]
+    fn memo_stats_reconcile() {
+        // The only lib test touching the process-wide memo counters, so the
+        // snapshot below observes exactly this run. Ladder: everyone expands
+        // 1 -> 2 and then reports the ball size, giving both Expand and Done
+        // rungs, plenty of hits, and (on a torus) very few classes.
+        memo_stats_reset();
+        let net = Network::with_identity_ids(generators::grid2d(8, 8, true));
+        let (outs, _) = run_local_memo(
+            &net,
+            1,
+            |_, _| {},
+            |ball| {
+                if ball.radius() < 2 {
+                    MemoStep::Expand(2)
+                } else {
+                    MemoStep::Done(ball.n())
+                }
+            },
+        )
+        .expect("order-invariant step");
+        assert!(outs.iter().all(|&k| k == 13));
+        let s = memo_stats();
+        // Every probe is either a hit or a new class — a fingerprint-
+        // rejected miss is *not* double-counted as both.
+        assert_eq!(s.lookups, s.hits + s.classes);
+        assert!(s.fp_rejects <= s.classes, "rejects are a subset of misses");
+        assert!(s.classes >= 1 && s.hits > 0);
+        // The two gather phases partition the gather total exactly.
+        assert_eq!(s.gather_ns, s.sweep_ns + s.key_ns);
+        assert!(s.verifications >= 1);
     }
 
     #[test]

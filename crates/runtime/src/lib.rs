@@ -74,6 +74,7 @@ pub mod gather;
 pub mod lookup;
 pub mod messaging;
 pub mod network;
+pub mod shell;
 pub mod transport;
 
 pub use ball::Ball;
@@ -97,6 +98,7 @@ pub use messaging::{
     RoundOutcome, Strict,
 };
 pub use network::Network;
+pub use shell::{fold_key_words, shell_class_keys, shell_class_keys_at_radii};
 pub use transport::{
     CopyFate, Corruptible, Fate, FaultPlan, FaultRun, FaultStats, PerfectLink, Transport,
 };

@@ -1,0 +1,919 @@
+//! Shared shell-indexed gather: one frontier sweep serves many centers.
+//!
+//! The memo executor's cost model changed after canonical-ball
+//! memoization: evaluation happens once per class, so almost all per-node
+//! time went into *gathering* — materializing and keying a radius-`T` ball
+//! per node even though adjacent balls overlap in all but an `O(T·Δ)`
+//! frontier. This module shares that work three ways:
+//!
+//! 1. **One sweep per tile.** Centers are grouped into tiles of up to
+//!    [`TILE_WIDTH`] nodes and a single [`BitFrontier`] sweep stamps, for
+//!    every round `d`, which centers first reach which node at distance
+//!    exactly `d` (the distance-`d` *shells*). Every edge of the union of
+//!    the tile's balls is relaxed once per round with a word-wide OR,
+//!    instead of once per center.
+//! 2. **Node-major keying over the shared union.** Everything keying needs
+//!    per union node — degree, serialized input tag, neighbor dense
+//!    indices, uid rank — is computed *once per tile* and fanned out to
+//!    every center that reached the node. One pass over the union in uid
+//!    order assigns, for all centers at once, each member's canonical index
+//!    *and* its packed `(distance, rank)` key word (canonical order is
+//!    shells by distance with uid order inside, so a per-center counter
+//!    walked in uid order is the rank). Per-center tables are laid out as
+//!    per-center *planes* so the edge pass reads L1-resident rows, and edge
+//!    words are emitted from the min-distance endpoint in canonical order —
+//!    they come out sorted without any comparison sort.
+//! 3. **Class pre-fingerprints before any serialization.** The merge walk
+//!    folds each member's `(distance, rank)` word and degree/input mix in
+//!    canonical order, and the edge pass adds a commutative accumulator of
+//!    the edge-word multiset — every folded quantity is a pure function of
+//!    the exact key, computed from tables that exist *before* any key
+//!    words do. The memo buckets classes by this fingerprint, so
+//!    non-matching classes are rejected with no word comparison, and a
+//!    probable hit is confirmed by *streaming* the would-be words against
+//!    the candidate class (`ShellEngine::confirm`) — the full
+//!    serialization is materialized only on a miss. Equal keys always
+//!    produce equal fingerprints — a fingerprint collision costs one extra
+//!    word comparison, never correctness.
+//!
+//! Expanding a rung ([`crate::MemoStep::Expand`]) reuses the sweep — shells
+//! already swept are never re-relaxed — while the derived per-center tables
+//! are rebuilt from the retained shell log: member ranks shift whenever new
+//! uids interleave with old ones, so rebuilding linearly is both simpler
+//! and cheaper than patching.
+//!
+//! # Determinism
+//!
+//! Nothing here depends on sweep scheduling: shells are *sets* (walked in
+//! uid order), canonical order is a pure function of the view, and the
+//! executor's outputs remain bit-identical to [`crate::run_local`] for
+//! order-invariant steps — the same safety nets (geometric re-verification,
+//! cross-shard replay merge) still detect steps that are not. The emitted
+//! words are bit-identical to [`crate::canonicalize_tagged_with`] on the
+//! materialized ball (pinned by `crates/runtime/tests/shell_gather.rs`).
+
+use crate::ball::{build_from_members, Ball};
+
+use crate::canonical::CanonicalKey;
+use crate::network::Network;
+use lad_graph::frontier::BitFrontier;
+pub use lad_graph::frontier::TILE_WIDTH;
+use lad_graph::{EdgeId, NodeId};
+
+/// Seed and multiplier of the multiply–rotate fold used for pre-fingerprints
+/// (the same constants as [`CanonicalKey`]'s construction-time fold).
+const FOLD_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const FOLD_MUL: u64 = 0x517c_c1b7_2722_0a95;
+
+#[inline]
+fn fold_step(fold: u64, w: u64) -> u64 {
+    (fold.rotate_left(5) ^ w).wrapping_mul(FOLD_MUL)
+}
+
+/// Folds a key-word sequence into one word with the shell fingerprint's
+/// multiply–rotate fold. This is the hook advice schemas use to
+/// pre-fingerprint their `push_key_words` encodings (e.g.
+/// `BitString::key_fingerprint` in `lad-core`): equal word sequences fold
+/// equal, so a schema-level fingerprint is sound for the same reason the
+/// class pre-fingerprint is.
+#[inline]
+pub fn fold_key_words(words: &[u64]) -> u64 {
+    let mut fp = FOLD_SEED;
+    for &w in words {
+        fp = fold_step(fp, w);
+    }
+    fp
+}
+
+/// Per-member mix for the class pre-fingerprint: a splitmix-style
+/// finalizer over the pair (true degree, folded input tag). The merge pass
+/// folds each member's mix in canonical order, so the fingerprint is a
+/// function of the *sequence* of (distance, rank, degree, input) tuples —
+/// exactly the per-member data the exact key carries, in the key's own
+/// order. (An earlier commutative per-shell sum could not tell apart balls
+/// whose shells hold the same multiset of tags in different arrangements,
+/// which multi-rung coloring ladders produce in bulk.)
+#[inline]
+fn member_mix(degree: u64, input_fp: u64) -> u64 {
+    let mut x = degree.wrapping_mul(FOLD_SEED) ^ input_fp;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// One stable counting pass of an LSD radix sort on the 11 bits of `src`
+/// at `shift`, scattered into `dst`.
+fn radix_pass(src: &[u64], dst: &mut [u64], shift: u32, hist: &mut [u32; 2048]) {
+    hist.fill(0);
+    for &w in src {
+        hist[(w >> shift) as usize & 2047] += 1;
+    }
+    let mut run = 0u32;
+    for h in hist.iter_mut() {
+        let c = *h;
+        *h = run;
+        run += c;
+    }
+    for &w in src {
+        let slot = &mut hist[(w >> shift) as usize & 2047];
+        dst[*slot as usize] = w;
+        *slot += 1;
+    }
+}
+
+/// Per-center results of the latest [`ShellEngine::extend_centers`] batch
+/// that included this center.
+#[derive(Debug, Default)]
+struct CenterState {
+    started: bool,
+    /// Radius the state is complete to (meaningful once `started`).
+    radius: usize,
+    /// Member count at that radius.
+    m: u32,
+    /// Class pre-fingerprint at that radius.
+    fp: u64,
+    /// Sorted packed edge words `min(canon) << 32 | max(canon)`.
+    edges: Vec<u64>,
+    /// Reusable key-word emission buffer (filled by `emit`).
+    words: Vec<u64>,
+}
+
+/// The shared gather engine: one [`BitFrontier`] plus node-major union
+/// tables and per-center planes. One engine per worker, reused across every
+/// tile it processes — steady-state tiles allocate nothing.
+///
+/// # Batch contract
+///
+/// [`ShellEngine::extend_centers`] rebuilds the derived tables for exactly
+/// the centers in its batch; the state of centers *outside* the batch is
+/// invalidated. The executor honors this by fully processing each batch
+/// (keying, probing, verification) before extending the next one, and by
+/// including every still-laddering center in some batch of every wave.
+#[derive(Debug)]
+pub(crate) struct ShellEngine {
+    frontier: BitFrontier,
+    /// Folded input-tag words per *global* node, computed once per engine.
+    input_fp: Vec<u64>,
+    /// Rank of each node's uid in the global uid order, computed once per
+    /// engine. Uid *rank* carries exactly the information keying needs
+    /// (relative order) in a u32 that sorts and compares cheaper than raw
+    /// uids.
+    uid_rank: Vec<u32>,
+    /// Centers of the current tile (slot count of the last `start_tile`).
+    n_centers: usize,
+    /// Plane stride (= union size of the last extend batch).
+    stride: usize,
+    /// Union radius the tables were last built to.
+    built_radius: usize,
+    // --- node-major union tables, rebuilt per extend batch ---
+    /// Per dense node: its first-reach entries, ascending distance, at
+    /// `ent_d/ent_m[ent_off[dense]..ent_off[dense + 1]]`.
+    ent_off: Vec<u32>,
+    ent_d: Vec<u8>,
+    ent_m: Vec<u64>,
+    /// Counting-scatter cursor (per dense).
+    ent_fill: Vec<u32>,
+    /// Packed `uid rank << 32 | dense` of the union nodes, sorted: the
+    /// tile's uid order (radix-sorted; ranks are unique, so the packed
+    /// order is the rank order).
+    union_nodes: Vec<u64>,
+    /// Radix-sort ping buffer for `union_nodes`.
+    union_scratch: Vec<u64>,
+    /// Per dense node: `[degree, input tag words…]` at
+    /// `attr_words[attr_off[dense]..attr_off[dense + 1]]` — the node's
+    /// serialized key block minus the leading `(dist, rank)` word.
+    attr_off: Vec<u32>,
+    attr_words: Vec<u64>,
+    /// Per dense node: neighbor dense indices (`u32::MAX` = outside the
+    /// union) at `adj[adj_off[dense]..adj_off[dense + 1]]`.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    // --- per-center planes, `bit * stride + dense` ---
+    /// Canonical index within center `bit`'s ball. Stale entries are never
+    /// cleared; validity is the sparse-set check
+    /// `canon_p[..] < m && mem_flat[mem_base + canon_p[..]] == dense`,
+    /// which pass C re-establishes for exactly the members of each batch
+    /// center. `u16` halves the plane working set (the merge scatter's and
+    /// edge pass's hot rows); ball sizes are capped accordingly.
+    canon_p: Vec<u16>,
+    /// Shell sizes / write cursors, at `bit * (radius + 1) + d`.
+    cnt: Vec<u32>,
+    pos: Vec<u32>,
+    /// Per dense node: its [`member_mix`], consumed by the merge pass's
+    /// fingerprint fold.
+    mix_buf: Vec<u64>,
+    /// Per center: start of its segment in `mem_flat`/`rank_flat`.
+    mem_base: Vec<u32>,
+    /// Members as dense indices, canonical order, per-center segments.
+    mem_flat: Vec<u32>,
+    /// Packed `(distance << 32 | rank)` key words, canonical order.
+    rank_flat: Vec<u64>,
+    centers: Vec<CenterState>,
+    /// `(node, dist)` buffer for ball materialization.
+    members_buf: Vec<(NodeId, usize)>,
+    /// Edge-enumeration buffer for [`build_from_members`].
+    pairs: Vec<(NodeId, NodeId, EdgeId)>,
+}
+
+impl ShellEngine {
+    /// An engine for `net`, with per-node input fingerprints precomputed
+    /// through `input_tag` (one tag call per node, total).
+    pub(crate) fn new<In>(net: &Network<In>, input_tag: &impl Fn(&In, &mut Vec<u64>)) -> Self {
+        let g = net.graph();
+        let mut buf = Vec::new();
+        let input_fp: Vec<u64> = g
+            .nodes()
+            .map(|v| {
+                buf.clear();
+                input_tag(net.input(v), &mut buf);
+                fold_key_words(&buf)
+            })
+            .collect();
+        // Rank-compress uids: order is all keying ever consumes.
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        order.sort_unstable_by_key(|&v| net.uid(v));
+        let mut uid_rank = vec![0u32; g.n()];
+        for (r, &v) in order.iter().enumerate() {
+            uid_rank[v.index()] = r as u32;
+        }
+        ShellEngine {
+            frontier: BitFrontier::new(g.n()),
+            input_fp,
+            uid_rank,
+            n_centers: 0,
+            stride: 0,
+            built_radius: 0,
+            ent_off: Vec::new(),
+            ent_d: Vec::new(),
+            ent_m: Vec::new(),
+            ent_fill: Vec::new(),
+            union_nodes: Vec::new(),
+            union_scratch: Vec::new(),
+            attr_off: Vec::new(),
+            attr_words: Vec::new(),
+            adj_off: Vec::new(),
+            adj: Vec::new(),
+            canon_p: Vec::new(),
+            cnt: Vec::new(),
+            mix_buf: Vec::new(),
+            pos: Vec::new(),
+            mem_base: vec![0; TILE_WIDTH],
+            mem_flat: Vec::new(),
+            rank_flat: Vec::new(),
+            centers: (0..TILE_WIDTH).map(|_| CenterState::default()).collect(),
+            members_buf: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Begins a tile: starts the shared sweep at the new centers. Derived
+    /// tables are rebuilt per [`ShellEngine::extend_centers`] batch, so no
+    /// per-slot cleanup is needed here.
+    pub(crate) fn start_tile<In>(&mut self, net: &Network<In>, centers: &[NodeId]) {
+        for c in self.centers.iter_mut().take(self.n_centers) {
+            c.started = false;
+        }
+        self.n_centers = centers.len();
+        self.frontier.start(net.graph(), centers);
+    }
+
+    /// [`ShellEngine::extend_centers`] for a single center.
+    #[cfg(test)]
+    pub(crate) fn extend_center<In>(
+        &mut self,
+        net: &Network<In>,
+        bit: usize,
+        new_radius: usize,
+        input_tag: &impl Fn(&In, &mut Vec<u64>),
+    ) {
+        self.extend_centers(net, &[bit], new_radius, input_tag);
+    }
+
+    /// Completes every listed center's state to `new_radius` in one shared
+    /// pass and computes its class pre-fingerprint. All listed centers must
+    /// be at the same rung: either all unstarted, or all previously
+    /// extended to the same radius (< `new_radius`). The driver groups its
+    /// worklist by rung to make batches maximal. Centers *not* in the batch
+    /// have their derived state invalidated (see the type-level batch
+    /// contract).
+    pub(crate) fn extend_centers<In>(
+        &mut self,
+        net: &Network<In>,
+        bits: &[usize],
+        new_radius: usize,
+        input_tag: &impl Fn(&In, &mut Vec<u64>),
+    ) {
+        let g = net.graph();
+        assert!(
+            new_radius <= u8::MAX as usize,
+            "radius fits the u8 shell log"
+        );
+        self.frontier.extend(g, new_radius);
+        let n_centers = self.n_centers;
+        let mut batch_mask = 0u64;
+        {
+            let rung = {
+                let c0 = &self.centers[bits[0]];
+                (c0.started, if c0.started { c0.radius } else { 0 })
+            };
+            debug_assert!(!rung.0 || new_radius > rung.1, "rungs strictly increase");
+            for &bit in bits {
+                debug_assert!(bit < n_centers);
+                let c = &self.centers[bit];
+                debug_assert_eq!(
+                    (c.started, if c.started { c.radius } else { 0 }),
+                    rung,
+                    "batched centers must share a rung"
+                );
+                batch_mask |= 1u64 << bit;
+            }
+        }
+        let r = new_radius;
+        let u = self.frontier.touched().len();
+        self.stride = u;
+        self.built_radius = r;
+
+        // A. Counting-scatter the shell log into per-node first-reach lists
+        // (ascending distance, because shells are scattered in distance
+        // order) and sort the union into the tile's uid order.
+        self.ent_fill.clear();
+        self.ent_fill.resize(u, 0);
+        for d in 0..=r {
+            for &(dense, _) in self.frontier.shell_dense(d) {
+                self.ent_fill[dense as usize] += 1;
+            }
+        }
+        self.ent_off.clear();
+        self.ent_off.reserve(u + 1);
+        let mut run = 0u32;
+        for dense in 0..u {
+            self.ent_off.push(run);
+            let c = self.ent_fill[dense];
+            self.ent_fill[dense] = run;
+            run += c;
+        }
+        self.ent_off.push(run);
+        self.ent_d.resize(run as usize, 0);
+        self.ent_m.resize(run as usize, 0);
+        for d in 0..=r {
+            for &(dense, m) in self.frontier.shell_dense(d) {
+                let i = self.ent_fill[dense as usize] as usize;
+                self.ent_fill[dense as usize] += 1;
+                self.ent_d[i] = d as u8;
+                self.ent_m[i] = m;
+            }
+        }
+        self.union_nodes.clear();
+        self.union_nodes.extend(
+            self.frontier
+                .touched()
+                .iter()
+                .enumerate()
+                .map(|(dense, &v)| (self.uid_rank[v.index()] as u64) << 32 | dense as u64),
+        );
+        if self.uid_rank.len() < 1 << 22 {
+            // Ranks fit 22 bits: two 11-bit counting passes beat a
+            // comparison sort on every tile-sized union.
+            self.union_scratch.resize(self.union_nodes.len(), 0);
+            let mut hist = [0u32; 2048];
+            radix_pass(&self.union_nodes, &mut self.union_scratch, 32, &mut hist);
+            radix_pass(&self.union_scratch, &mut self.union_nodes, 43, &mut hist);
+        } else {
+            self.union_nodes.sort_unstable();
+        }
+
+        // B. Per union node, once for the whole tile: degree, serialized
+        // attr block, neighbor dense indices, fingerprint mix — then fan
+        // shell sizes out to the batch.
+        let nd = r + 1;
+        self.cnt.clear();
+        self.cnt.resize(TILE_WIDTH * nd, 0);
+        self.attr_off.clear();
+        self.attr_words.clear();
+        self.adj_off.clear();
+        self.adj.clear();
+        self.mix_buf.clear();
+        for dense in 0..u {
+            let v = self.frontier.touched()[dense];
+            let deg = g.degree(v) as u64;
+            self.mix_buf.push(member_mix(deg, self.input_fp[v.index()]));
+            self.attr_off.push(self.attr_words.len() as u32);
+            self.attr_words.push(deg);
+            input_tag(net.input(v), &mut self.attr_words);
+            self.adj_off.push(self.adj.len() as u32);
+            for &nb in g.neighbors(v) {
+                self.adj
+                    .push(self.frontier.dense_index(nb).map_or(u32::MAX, |x| x as u32));
+            }
+            for i in self.ent_off[dense] as usize..self.ent_off[dense + 1] as usize {
+                let mut mm = self.ent_m[i] & batch_mask;
+                let d = self.ent_d[i] as usize;
+                while mm != 0 {
+                    let bit = mm.trailing_zeros() as usize;
+                    mm &= mm - 1;
+                    self.cnt[bit * nd + d] += 1;
+                }
+            }
+        }
+        self.attr_off.push(self.attr_words.len() as u32);
+        self.adj_off.push(self.adj.len() as u32);
+
+        // Prefix sums per center (the canonical shell starts). The class
+        // pre-fingerprint is folded during the merge walk below — one step
+        // per member, over `rank word ^ mix`, in canonical order — then
+        // finalized here-after with the scalars. Every folded quantity is
+        // derivable from the exact key, so equal keys always fingerprint
+        // equally; unlike a commutative per-shell sum, the ordered fold
+        // also separates arrangements of the same shell multisets.
+        self.pos.clear();
+        self.pos.resize(TILE_WIDTH * nd, 0);
+        let mut mem_total = 0u32;
+        for &bit in bits {
+            let mut m = 0u32;
+            for d in 0..nd {
+                self.pos[bit * nd + d] = m;
+                m += self.cnt[bit * nd + d];
+            }
+            assert!(
+                m < u16::MAX as u32,
+                "ball size fits the u16 canonical plane"
+            );
+            let c = &mut self.centers[bit];
+            c.started = true;
+            c.radius = r;
+            c.m = m;
+            self.mem_base[bit] = mem_total;
+            mem_total += m;
+        }
+        self.mem_flat.resize(mem_total as usize, 0);
+        self.rank_flat.resize(mem_total as usize, 0);
+        let need = TILE_WIDTH * u;
+        if self.canon_p.len() < need {
+            self.canon_p.resize(need, 0);
+        }
+
+        // C. One walk of the union in uid order assigns, for every batch
+        // center at once, each member's canonical index (its shell's write
+        // cursor), distance, *and* packed `(dist, rank)` key word — the
+        // per-center counter walked in uid order is exactly the member's
+        // rank in the uid order of its ball. The same walk folds each
+        // member's `rank word ^ mix` into the center's pre-fingerprint:
+        // per member, one step over data the exact key determines, in the
+        // key's own order.
+        let mut rank_ctr = [0u32; TILE_WIDTH];
+        let mut fps = [FOLD_SEED; TILE_WIDTH];
+        {
+            let ShellEngine {
+                union_nodes,
+                ent_off,
+                ent_d,
+                ent_m,
+                pos,
+                canon_p,
+                mem_base,
+                mem_flat,
+                rank_flat,
+                mix_buf,
+                ..
+            } = self;
+            for &un in union_nodes.iter() {
+                let dense = un as u32 as usize;
+                let mix = mix_buf[dense];
+                for i in ent_off[dense] as usize..ent_off[dense + 1] as usize {
+                    let mut mm = ent_m[i] & batch_mask;
+                    if mm == 0 {
+                        continue;
+                    }
+                    let d = ent_d[i];
+                    while mm != 0 {
+                        let bit = mm.trailing_zeros() as usize;
+                        mm &= mm - 1;
+                        let slot = bit * nd + d as usize;
+                        let p = pos[slot];
+                        pos[slot] = p + 1;
+                        canon_p[bit * u + dense] = p as u16;
+                        let at = (mem_base[bit] + p) as usize;
+                        mem_flat[at] = dense as u32;
+                        let rw = (d as u64) << 32 | rank_ctr[bit] as u64;
+                        rank_flat[at] = rw;
+                        rank_ctr[bit] += 1;
+                        fps[bit] = fold_step(fps[bit], rw ^ mix);
+                    }
+                }
+            }
+        }
+        for &bit in bits {
+            self.centers[bit].fp = fps[bit];
+        }
+
+        // D. Edges per center, over its L1-resident canonical plane. An
+        // edge is emitted from its min-distance endpoint (canonical
+        // tie-break), and canonical order is distance-major — so the
+        // emitting endpoint is exactly the *min-canon* endpoint, and the
+        // whole rule collapses to one compare: emit `ci << 32 | cu` iff
+        // `cu > ci`. Members are walked in canonical order, so the high
+        // halves ascend and each member only needs its ≤ degree low halves
+        // bubbled into place — the words emerge sorted with no comparison
+        // sort. Members at the radius emit nothing (a frontier–frontier
+        // edge is outside the view), and every neighbor of an interior
+        // member is itself a member, so its plane entry is fresh.
+        for &bit in bits {
+            let base = self.mem_base[bit] as usize;
+            let m = self.centers[bit].m as usize;
+            // Canonical order is distance-major, so the interior (every
+            // member below the frontier shell) is exactly a prefix.
+            let interior = m - self.cnt[bit * nd + r] as usize;
+            let ShellEngine {
+                adj_off,
+                adj,
+                canon_p,
+                mem_flat,
+                centers,
+                ..
+            } = self;
+            let cp = &canon_p[bit * u..(bit + 1) * u];
+            let e = &mut centers[bit].edges;
+            e.clear();
+            // Commutative edge accumulator for the pre-fingerprint: a sum
+            // of self-rotated edge words. Push order depends on the
+            // graph's adjacency-list order (not canonical), so the
+            // accumulator must be order-insensitive; the sum is a function
+            // of the edge-word *multiset*, which the exact key determines.
+            // The self-rotation keeps crossed rewirings — swap `(a,b),
+            // (c,d)` for `(a,d),(c,b)` — from cancelling, which a plain
+            // sum of packed words cannot see. Without edge data in the
+            // fingerprint, ladder schemas pile same-shell different-wiring
+            // classes into one bucket and every miss scans them all.
+            let mut ea = 0u64;
+            for (ci, &vd) in mem_flat[base..base + interior].iter().enumerate() {
+                let vd = vd as usize;
+                let run = e.len();
+                for &ud in &adj[adj_off[vd] as usize..adj_off[vd + 1] as usize] {
+                    if ud == u32::MAX {
+                        continue;
+                    }
+                    let cu = cp[ud as usize];
+                    debug_assert!(
+                        (cu as usize) < m && mem_flat[base + cu as usize] == ud,
+                        "neighbor of an interior member is a member"
+                    );
+                    if cu as usize > ci {
+                        let w = (ci as u64) << 32 | cu as u64;
+                        ea = ea.wrapping_add(w.rotate_left(w as u32 & 63));
+                        let mut i = e.len();
+                        e.push(w);
+                        while i > run && e[i - 1] > w {
+                            e[i] = e[i - 1];
+                            i -= 1;
+                        }
+                        e[i] = w;
+                    }
+                }
+            }
+            debug_assert!(
+                e.windows(2).all(|w| w[0] < w[1]),
+                "edge words must emerge sorted"
+            );
+            let c = &mut centers[bit];
+            c.fp = fold_step(fold_step(fold_step(c.fp, ea), c.m as u64), r as u64);
+        }
+    }
+
+    /// The class pre-fingerprint of center `bit` at its current radius —
+    /// available straight after [`ShellEngine::extend_centers`], before any
+    /// key words exist.
+    pub(crate) fn pre_fp(&self, bit: usize) -> u64 {
+        debug_assert!(self.centers[bit].started);
+        self.centers[bit].fp
+    }
+
+    /// Streams center `bit`'s would-be canonical key words against
+    /// `candidate` without materializing them: returns `true` iff the full
+    /// serialization would equal `candidate` word for word. This is the
+    /// memo hit path — a confirmed center never builds its key.
+    pub(crate) fn confirm(&self, bit: usize, candidate: &[u64]) -> bool {
+        let c = &self.centers[bit];
+        let base = self.mem_base[bit] as usize;
+        let m = c.m as usize;
+        let header = [m as u64, c.radius as u64, 0u64];
+        if candidate.len() < 3 || candidate[..3] != header {
+            return false;
+        }
+        let mut at = 3;
+        for ci in 0..m {
+            let vd = self.mem_flat[base + ci] as usize;
+            let attrs =
+                &self.attr_words[self.attr_off[vd] as usize..self.attr_off[vd + 1] as usize];
+            let Some(chunk) = candidate.get(at..at + 1 + attrs.len()) else {
+                return false;
+            };
+            if chunk[0] != self.rank_flat[base + ci] || chunk[1..] != *attrs {
+                return false;
+            }
+            at += 1 + attrs.len();
+        }
+        if candidate.get(at) != Some(&(c.edges.len() as u64)) {
+            return false;
+        }
+        at += 1;
+        candidate.len() == at + c.edges.len() && candidate[at..] == *c.edges
+    }
+
+    /// Serializes center `bit`'s canonical key at its current radius into
+    /// its reusable word buffer (read it back with [`ShellEngine::words`])
+    /// and returns the class pre-fingerprint. Only the miss path pays this;
+    /// hits are confirmed by [`ShellEngine::confirm`] instead.
+    pub(crate) fn key_center(&mut self, bit: usize) -> u64 {
+        let base = self.mem_base[bit] as usize;
+        let ShellEngine {
+            attr_off,
+            attr_words,
+            mem_flat,
+            rank_flat,
+            centers,
+            ..
+        } = self;
+        let c = &mut centers[bit];
+        let m = c.m as usize;
+        let words = &mut c.words;
+        words.clear();
+        words.push(m as u64);
+        words.push(c.radius as u64);
+        // The center is the unique distance-0 node, hence canonical index 0.
+        words.push(0);
+        for ci in 0..m {
+            words.push(rank_flat[base + ci]);
+            let vd = mem_flat[base + ci] as usize;
+            words.extend_from_slice(&attr_words[attr_off[vd] as usize..attr_off[vd + 1] as usize]);
+        }
+        words.push(c.edges.len() as u64);
+        words.extend_from_slice(&c.edges);
+        c.fp
+    }
+
+    /// The key words the last [`ShellEngine::key_center`] for `bit` emitted.
+    #[cfg(test)]
+    pub(crate) fn words(&self, bit: usize) -> &[u64] {
+        &self.centers[bit].words
+    }
+
+    /// Materializes center `bit`'s key as an owned [`CanonicalKey`] — only
+    /// paid when a class is first inserted into a memo (or reported in a
+    /// [`crate::NotOrderInvariant`]).
+    pub(crate) fn canonical_key(&mut self, bit: usize) -> CanonicalKey {
+        self.key_center(bit);
+        CanonicalKey::from_word_slice(&self.centers[bit].words)
+    }
+
+    /// Materializes center `bit`'s ball at its current radius from the
+    /// canonical membership (distances nondecreasing, center at local 0).
+    /// Used on memo misses and verification probes; node numbering is the
+    /// canonical order rather than BFS discovery order, which is invisible
+    /// to an order-invariant step (and any step that *can* see the
+    /// difference is exactly what the executor's safety nets reject).
+    pub(crate) fn build_ball<In: Clone>(&mut self, net: &Network<In>, bit: usize) -> Ball<In> {
+        let base = self.mem_base[bit] as usize;
+        let m = self.centers[bit].m as usize;
+        let u = self.stride;
+        let ShellEngine {
+            frontier,
+            canon_p,
+            mem_flat,
+            rank_flat,
+            centers,
+            members_buf,
+            pairs,
+            ..
+        } = self;
+        members_buf.clear();
+        for ci in 0..m {
+            let w = rank_flat[base + ci];
+            members_buf.push((
+                frontier.touched()[mem_flat[base + ci] as usize],
+                (w >> 32) as usize,
+            ));
+        }
+        let cp = &canon_p[bit * u..(bit + 1) * u];
+        build_from_members(
+            net,
+            members_buf,
+            centers[bit].radius,
+            |nb| {
+                // Sparse-set membership: a stale plane entry cannot point
+                // back at its own dense index from inside the member list.
+                let dn = frontier.dense_index(nb)?;
+                let c = cp[dn] as usize;
+                (c < m && mem_flat[base + c] as usize == dn).then_some(NodeId(c as u32))
+            },
+            pairs,
+        )
+    }
+
+    /// The radius center `bit`'s state is complete to.
+    #[cfg(test)]
+    pub(crate) fn radius_of(&self, bit: usize) -> usize {
+        self.centers[bit].radius
+    }
+}
+
+/// The canonical key and class pre-fingerprint of each center's radius-
+/// `radius` ball under the shared shell-indexed gather. Centers must be
+/// distinct; they are processed in tiles of [`TILE_WIDTH`].
+///
+/// This is the differential-test surface for the memo executor's gather
+/// path: the keys must be word-identical to canonicalizing each
+/// materialized ball, and equal keys must carry equal fingerprints
+/// (`crates/runtime/tests/shell_gather.rs` pins both).
+pub fn shell_class_keys<In: Clone>(
+    net: &Network<In>,
+    centers: &[NodeId],
+    radius: usize,
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+) -> Vec<(CanonicalKey, u64)> {
+    shell_class_keys_at_radii(net, centers, &[radius], input_tag)
+        .into_iter()
+        .map(|mut ladder| ladder.pop().expect("one radius requested"))
+        .collect()
+}
+
+/// [`shell_class_keys`] along a strictly increasing radius ladder,
+/// exercising the incremental Expand path: `result[i][j]` is `centers[i]`'s
+/// key and fingerprint at `radii[j]`, where each rung reuses the previous
+/// rung's sweep (shells already swept are never re-relaxed) and rebuilds
+/// the derived tables, exactly as the memo executor's ladder does.
+///
+/// # Panics
+///
+/// Panics if `radii` is not strictly increasing or a tile repeats a center.
+pub fn shell_class_keys_at_radii<In: Clone>(
+    net: &Network<In>,
+    centers: &[NodeId],
+    radii: &[usize],
+    input_tag: impl Fn(&In, &mut Vec<u64>),
+) -> Vec<Vec<(CanonicalKey, u64)>> {
+    assert!(
+        radii.windows(2).all(|w| w[0] < w[1]),
+        "radii must strictly increase"
+    );
+    let mut engine = ShellEngine::new(net, &input_tag);
+    let mut out: Vec<Vec<(CanonicalKey, u64)>> = Vec::with_capacity(centers.len());
+    for tile in centers.chunks(TILE_WIDTH) {
+        engine.start_tile(net, tile);
+        let base = out.len();
+        out.extend(tile.iter().map(|_| Vec::with_capacity(radii.len())));
+        let bits: Vec<usize> = (0..tile.len()).collect();
+        for &r in radii {
+            engine.extend_centers(net, &bits, r, &input_tag);
+            for bit in 0..tile.len() {
+                let fp = engine.key_center(bit);
+                out[base + bit].push((engine.canonical_key(bit), fp));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{canonicalize_tagged_with, CanonScratch};
+    use lad_graph::generators;
+
+    fn tag(x: &u8, words: &mut Vec<u64>) {
+        words.push(*x as u64);
+    }
+
+    #[test]
+    fn keys_match_per_ball_canonicalization() {
+        let base = Network::with_identity_ids(generators::grid2d(5, 6, true));
+        let n = base.graph().n();
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let net = base.with_inputs(inputs);
+        let centers: Vec<NodeId> = net.graph().nodes().collect();
+        let mut cs = CanonScratch::new();
+        for radius in 0..4 {
+            let keys = shell_class_keys(&net, &centers, radius, tag);
+            for (&c, (key, _)) in centers.iter().zip(&keys) {
+                let ball = Ball::collect(&net, c, radius);
+                let expect = canonicalize_tagged_with(&ball, tag, &mut cs);
+                assert_eq!(key, &expect, "center {c:?} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_ladder_matches_fresh_keys() {
+        let net = Network::with_identity_ids(generators::random_tree(40, 7));
+        let centers: Vec<NodeId> = net.graph().nodes().collect();
+        let unit = |_: &(), _: &mut Vec<u64>| {};
+        let ladder = shell_class_keys_at_radii(&net, &centers, &[0, 2, 3, 5], unit);
+        for (j, &r) in [0usize, 2, 3, 5].iter().enumerate() {
+            let fresh = shell_class_keys(&net, &centers, r, unit);
+            for (i, &c) in centers.iter().enumerate() {
+                assert_eq!(ladder[i][j], fresh[i], "center {c:?} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_keys_have_equal_fingerprints() {
+        let net = Network::with_identity_ids(generators::cycle(30));
+        let centers: Vec<NodeId> = net.graph().nodes().collect();
+        let keys = shell_class_keys(&net, &centers, 3, |_: &(), _| {});
+        // Soundness: the fingerprint is a function of the key. (The deep
+        // interior of a long identity-id cycle collapses to one class, so
+        // this exercises real repeats, not just the trivial direction.)
+        let mut by_key: std::collections::HashMap<&CanonicalKey, u64> =
+            std::collections::HashMap::new();
+        let mut repeats = 0;
+        for (key, fp) in &keys {
+            if let Some(&prev) = by_key.get(key) {
+                assert_eq!(prev, *fp, "equal keys must fingerprint equally");
+                repeats += 1;
+            } else {
+                by_key.insert(key, *fp);
+            }
+        }
+        assert!(repeats > 10, "expected repeated interior classes");
+    }
+
+    #[test]
+    fn engine_reuse_across_tiles_is_clean() {
+        // More centers than one tile, forcing table reuse; disconnected
+        // pieces force empty shells and unreached nodes.
+        let g = generators::disjoint_union(&[
+            generators::grid2d(7, 7, false),
+            generators::path(30),
+            generators::complete(3),
+        ]);
+        let net = Network::with_identity_ids(g);
+        let centers: Vec<NodeId> = net.graph().nodes().collect();
+        assert!(centers.len() > TILE_WIDTH);
+        let mut cs = CanonScratch::new();
+        let keys = shell_class_keys(&net, &centers, 4, |_: &(), _| {});
+        for (&c, (key, _)) in centers.iter().zip(&keys) {
+            let ball = Ball::collect(&net, c, 4);
+            let expect = canonicalize_tagged_with(&ball, |_: &(), _| {}, &mut cs);
+            assert_eq!(key, &expect, "center {c:?}");
+        }
+    }
+
+    #[test]
+    fn confirm_streams_exactly_the_emitted_words() {
+        let base = Network::with_identity_ids(generators::grid2d(4, 5, true));
+        let n = base.graph().n();
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let net = base.with_inputs(inputs);
+        let centers: Vec<NodeId> = net.graph().nodes().take(6).collect();
+        let mut engine = ShellEngine::new(&net, &tag);
+        engine.start_tile(&net, &centers);
+        let bits: Vec<usize> = (0..centers.len()).collect();
+        engine.extend_centers(&net, &bits, 2, &tag);
+        let own: Vec<Vec<u64>> = bits
+            .iter()
+            .map(|&bit| {
+                engine.key_center(bit);
+                engine.words(bit).to_vec()
+            })
+            .collect();
+        for &bit in &bits {
+            for (other, words) in own.iter().enumerate() {
+                assert_eq!(
+                    engine.confirm(bit, words),
+                    own[bit] == *words,
+                    "bit {bit} vs words of {other}"
+                );
+            }
+            // Truncations and extensions must not confirm.
+            let w = &own[bit];
+            assert!(!engine.confirm(bit, &w[..w.len() - 1]));
+            let mut long = w.clone();
+            long.push(0);
+            assert!(!engine.confirm(bit, &long));
+        }
+    }
+
+    #[test]
+    fn built_ball_matches_canonical_structure() {
+        let net = Network::with_identity_ids(generators::grid2d(4, 4, true));
+        let centers: Vec<NodeId> = net.graph().nodes().collect();
+        let unit = |_: &(), _: &mut Vec<u64>| {};
+        let mut engine = ShellEngine::new(&net, &unit);
+        let mut cs = CanonScratch::new();
+        engine.start_tile(&net, &centers[..4]);
+        for (bit, &center) in centers.iter().enumerate().take(4) {
+            engine.extend_center(&net, bit, 2, &unit);
+            engine.key_center(bit);
+            assert_eq!(engine.radius_of(bit), 2);
+            let ball = engine.build_ball(&net, bit);
+            // The built ball re-keys to the emitted words: same view.
+            let rekey = canonicalize_tagged_with(&ball, unit, &mut cs);
+            assert_eq!(rekey.words(), engine.words(bit), "center bit {bit}");
+            assert_eq!(ball.center(), NodeId(0));
+            assert_eq!(ball.global_node(NodeId(0)), center);
+        }
+    }
+}
