@@ -1,0 +1,290 @@
+//! Churn-repair gate: diffs a fresh `churn_bench` run against the
+//! committed `BENCH_churn.json` snapshot and fails on regressions.
+//!
+//! For every `(kind, family, batch-share)` triple present in both files,
+//! each fresh row is matched to the committed row of the same triple with
+//! the nearest `n` (sizes must agree within 1.5×, mirroring
+//! `pipeline_gate`; batch share is `batch_edits / m`, binned by order of
+//! magnitude so a 0.1%-churn smoke row compares to the committed
+//! 0.1%-churn row). The gate fails when:
+//!
+//! * any fresh row carries `verified: false` — the differential oracle
+//!   caught a repair diverging from the from-scratch recompute;
+//! * repair throughput regressed: committed `edits_per_s` exceeds fresh
+//!   `edits_per_s` by more than the allowed ratio (default 3×, absorbing
+//!   runner noise while catching an accidentally disabled repair path
+//!   that silently falls back to full recompute);
+//! * the committed row demonstrated an incremental advantage
+//!   (`speedup ≥ min-speedup`, default 10) but the fresh row fell below
+//!   `min-speedup / max-ratio` — the headline ≥10× claim eroding past
+//!   noise is a failure even while absolute latency looks fine.
+//!
+//! Parsing is deliberately hand-rolled: the workspace has no JSON
+//! dependency, and `churn_bench` writes one row object per line.
+//!
+//! Usage:
+//! `churn_gate <fresh.json> <committed.json> [--max-ratio R] [--min-speedup S]`
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    kind: String,
+    family: String,
+    n: f64,
+    share_bin: i32,
+    edits_per_s: f64,
+    speedup: f64,
+    verified: bool,
+}
+
+/// Extracts the raw text of `"key": <value>` from a one-line JSON object,
+/// stopping at the next `,` or closing `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let raw = raw_field(line, key)?;
+    Some(raw.trim_matches('"').to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+/// Bins the per-batch churn share by order of magnitude, so rows measured
+/// at 0.1% and 1% churn never cross-compare.
+fn share_bin(batch_edits: f64, m: f64) -> i32 {
+    if batch_edits <= 0.0 || m <= 0.0 {
+        return i32::MIN;
+    }
+    (batch_edits / m).log10().round() as i32
+}
+
+/// Parses every result row out of a `churn_bench` JSON file.
+fn parse_rows(text: &str, origin: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"kind\"") {
+            continue;
+        }
+        match (
+            str_field(line, "kind"),
+            str_field(line, "family"),
+            num_field(line, "n"),
+            num_field(line, "m"),
+            num_field(line, "batch_edits"),
+            num_field(line, "edits_per_s"),
+            num_field(line, "speedup"),
+            str_field(line, "verified"),
+        ) {
+            (
+                Some(kind),
+                Some(family),
+                Some(n),
+                Some(m),
+                Some(batch_edits),
+                Some(edits_per_s),
+                Some(speedup),
+                Some(verified),
+            ) => rows.push(Row {
+                kind,
+                family,
+                n,
+                share_bin: share_bin(batch_edits, m),
+                edits_per_s,
+                speedup,
+                verified: verified == "true",
+            }),
+            _ => eprintln!("warning: unparseable row in {origin}: {}", line.trim()),
+        }
+    }
+    rows
+}
+
+/// The committed row of the same (kind, family, share bin) whose size is
+/// nearest to `fresh.n`, provided the sizes agree within 1.5×.
+fn baseline_for<'a>(fresh: &Row, committed: &'a [Row]) -> Option<&'a Row> {
+    committed
+        .iter()
+        .filter(|r| {
+            r.kind == fresh.kind && r.family == fresh.family && r.share_bin == fresh.share_bin
+        })
+        .min_by(|a, b| (a.n - fresh.n).abs().total_cmp(&(b.n - fresh.n).abs()))
+        .filter(|r| {
+            let (lo, hi) = if r.n < fresh.n {
+                (r.n, fresh.n)
+            } else {
+                (fresh.n, r.n)
+            };
+            lo > 0.0 && hi / lo <= 1.5
+        })
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut min_speedup = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--max-ratio" {
+            max_ratio = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-ratio needs a number");
+        } else if arg == "--min-speedup" {
+            min_speedup = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--min-speedup needs a number");
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [fresh_path, committed_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: churn_gate <fresh.json> <committed.json> [--max-ratio R] [--min-speedup S]"
+        );
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let fresh = parse_rows(&read(fresh_path), fresh_path);
+    let committed = parse_rows(&read(committed_path), committed_path);
+    if fresh.is_empty() || committed.is_empty() {
+        eprintln!(
+            "error: no comparable rows ({} fresh, {} committed)",
+            fresh.len(),
+            committed.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for row in &fresh {
+        if !row.verified {
+            failures.push(format!(
+                "{}/{} at n={}: differential verification FAILED",
+                row.kind, row.family, row.n
+            ));
+        }
+    }
+    eprintln!(
+        "{:>14} {:>22} {:>8} {:>6} {:>14} {:>14} {:>7}",
+        "kind", "family", "n", "churn", "fresh edits/s", "base edits/s", "ratio"
+    );
+    for row in &fresh {
+        let Some(base) = baseline_for(row, &committed) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = base.edits_per_s / row.edits_per_s.max(f64::MIN_POSITIVE);
+        let flag = if ratio > max_ratio {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        eprintln!(
+            "{:>14} {:>22} {:>8} {:>5}% {:>14.0} {:>14.0} {:>7.2}{flag}",
+            row.kind,
+            row.family,
+            row.n,
+            100.0 * 10f64.powi(row.share_bin),
+            row.edits_per_s,
+            base.edits_per_s,
+            ratio
+        );
+        if ratio > max_ratio {
+            failures.push(format!(
+                "{}/{} at n={}: {:.0} edits/s vs committed {:.0} ({:.2}x > {max_ratio}x)",
+                row.kind, row.family, row.n, row.edits_per_s, base.edits_per_s, ratio
+            ));
+        }
+        // The incremental-advantage floor: only enforced where the
+        // committed snapshot itself demonstrated it, so small smoke sizes
+        // (where scratch is cheap and the advantage genuinely shrinks)
+        // never trip it spuriously.
+        if base.speedup >= min_speedup && row.speedup < min_speedup / max_ratio {
+            failures.push(format!(
+                "{}/{} at n={}: incremental speedup {:.1}x collapsed below {:.1}x \
+                 (committed {:.1}x, floor {min_speedup}/{max_ratio})",
+                row.kind,
+                row.family,
+                row.n,
+                row.speedup,
+                min_speedup / max_ratio,
+                base.speedup
+            ));
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: no (kind, family, churn-share) triple matched between the two files");
+        return ExitCode::FAILURE;
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "churn gate passed: {compared} rows within {max_ratio}x of the committed snapshot"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("churn gate FAILED ({} issue(s)):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "results": [
+    {"kind": "decode_repair", "family": "torus", "n": 4096, "m": 8192, "batches": 6, "batch_edits": 8, "repair_p50_s": 0.0003, "repair_p99_s": 0.0005, "scratch_p50_s": 0.009, "speedup": 31.5, "edits_per_s": 26000, "repaired_p50": 130, "repaired_max": 131, "queries": 1536, "query_s": 0.00001, "verified": true},
+    {"kind": "decode_repair", "family": "torus", "n": 4096, "m": 8192, "batches": 6, "batch_edits": 81, "repair_p50_s": 0.0016, "repair_p99_s": 0.0018, "scratch_p50_s": 0.010, "speedup": 6.4, "edits_per_s": 51000, "repaired_p50": 1056, "repaired_max": 1145, "queries": 1536, "query_s": 0.00001, "verified": true},
+    {"kind": "advice_repair", "family": "torus", "n": 576, "m": 1152, "batches": 2, "batch_edits": 11, "repair_p50_s": 0.007, "repair_p99_s": 0.007, "scratch_p50_s": 0.009, "speedup": 1.4, "edits_per_s": 1630, "repaired_p50": 559, "repaired_max": 559, "verified": false}
+  ]
+}"#;
+
+    #[test]
+    fn parses_rows_with_share_bins_and_verified() {
+        let rows = parse_rows(SAMPLE, "sample");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].kind, "decode_repair");
+        assert_eq!(rows[0].share_bin, -3, "8/8192 is the 0.1% bin");
+        assert_eq!(rows[1].share_bin, -2, "81/8192 is the 1% bin");
+        assert!(rows[0].verified);
+        assert!(!rows[2].verified);
+    }
+
+    #[test]
+    fn baseline_respects_share_bin_and_size_band() {
+        let rows = parse_rows(SAMPLE, "sample");
+        let fresh = Row {
+            kind: "decode_repair".into(),
+            family: "torus".into(),
+            n: 4000.0,
+            share_bin: -3,
+            edits_per_s: 20000.0,
+            speedup: 25.0,
+            verified: true,
+        };
+        let base = baseline_for(&fresh, &rows).expect("matches the 0.1% row");
+        assert_eq!(base.speedup, 31.5);
+        let other_bin = Row {
+            share_bin: -1,
+            ..fresh.clone()
+        };
+        assert!(
+            baseline_for(&other_bin, &rows).is_none(),
+            "10% bin has no committed partner"
+        );
+        let tiny = Row { n: 512.0, ..fresh };
+        assert!(baseline_for(&tiny, &rows).is_none(), "out of size band");
+    }
+}

@@ -330,48 +330,157 @@ pub fn decode_records(bits: &BitString, degree: usize) -> Option<Vec<AnchorRecor
 // Encoding.
 // ---------------------------------------------------------------------------
 
-/// Anchor positions along a trail: interior positions `1, 1+s, 1+2s, …`
-/// for open trails; `0, s, 2s, …` for closed trails.
-fn anchor_positions(trail: &Trail, spacing: usize) -> Vec<usize> {
-    let len = trail.len();
-    if trail.closed {
-        (0..len).step_by(spacing).collect()
-    } else {
-        (1..len).step_by(spacing).collect()
-    }
+/// A trail's stable identity across edits: the lexicographically smallest
+/// `(lo_uid, hi_uid)` endpoint pair among its edges.
+///
+/// Trails partition the edge set, so tokens are unique within one Euler
+/// partition; and because the token is built from uids (never [`EdgeId`]s,
+/// which renumber globally on any edit), a trail untouched by an edit
+/// batch keeps its token. The churn session ([`crate::churn`]) keys every
+/// per-node anchor record by the token of the trail that placed it.
+pub type TrailToken = (u64, u64);
+
+/// Computes a trail's [`TrailToken`]. Enumeration-independent: any
+/// reconstruction of the same trail (different start, different direction)
+/// yields the same token.
+pub fn trail_token(g: &Graph, uids: &[u64], trail: &Trail) -> TrailToken {
+    trail
+        .edges
+        .iter()
+        .map(|&e| {
+            let (a, b) = g.endpoints(e);
+            let (x, y) = (uids[a.index()], uids[b.index()]);
+            if x < y {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        })
+        .min()
+        .expect("trails have at least one edge")
 }
 
-/// The (node, arrive-edge, leave-edge) triple at trail position `i`.
-/// For closed trails position 0 arrives via the last edge.
-fn position_info(trail: &Trail, i: usize) -> (NodeId, EdgeId, EdgeId) {
+/// Direction for a canonical-rule tie on a closed trail: the direction in
+/// which the token edge is traversed from its lower- to its higher-uid
+/// endpoint. Ties force anchors, so the decoder never needs to reproduce
+/// this rule — it only has to be enumeration-free so that re-encoding the
+/// same trail from any reconstruction places identical anchors.
+fn tie_direction_closed(trail: &Trail, uids: &[u64]) -> bool {
     let len = trail.len();
-    if i == 0 {
-        assert!(trail.closed, "open trails have no slot at position 0");
-        (trail.nodes[0], trail.edges[len - 1], trail.edges[0])
-    } else {
-        (trail.nodes[i], trail.edges[i - 1], trail.edges[i])
-    }
+    let uid = |v: NodeId| uids[v.index()];
+    let j = (0..len)
+        .min_by_key(|&i| {
+            let (x, y) = (uid(trail.nodes[i]), uid(trail.nodes[i + 1]));
+            if x < y {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        })
+        .expect("closed trails have at least one edge");
+    uid(trail.nodes[j]) < uid(trail.nodes[j + 1])
 }
 
-/// The orientation direction chosen by the encoder for a trail, plus
-/// whether anchors must be placed regardless of length (canonical tie).
-fn choose_direction(trail: &Trail, uids: &[u64]) -> (bool, bool) {
-    if trail.closed {
-        let seq: Vec<u64> = trail.nodes[..trail.len()]
-            .iter()
-            .map(|v| uids[v.index()])
-            .collect();
-        match cycle_canonical_forward(&seq) {
-            Some(forward) => (forward, false),
-            None => (true, true),
+/// The anchor records a trail contributes, as a **pure function of the
+/// trail's structure** — independent of how the trail was enumerated
+/// (start node, rotation, direction). Two consequences the churn session
+/// relies on:
+///
+/// * a trail untouched by an edit batch re-encodes **bit-identically**, so
+///   local repair (drop affected trails' records, add their replacements)
+///   reproduces a from-scratch encode exactly;
+/// * a trail reconstructed by walking from any of its nodes yields the
+///   same records as the full Euler partition's enumeration of it.
+///
+/// The canonicalization: the trail is directed by the same rule the
+/// decoder uses on unanchored trails ([`cycle_canonical_forward`] /
+/// [`open_canonical_forward`]; a tied closed trail — which is anchored
+/// regardless of length — falls back to the token-edge direction). Open
+/// trails then have a well-defined start (the canonical-direction first
+/// endpoint); closed trails are rotated to the lexicographically least
+/// rotation of the directed uid word ([`least_rotation_index`]), which is
+/// unique because a directed trail word is aperiodic — a period `p < len`
+/// would make positions `0` and `p` traverse the same uid pair, i.e. the
+/// same edge twice, contradicting edge-disjointness. Anchors go every
+/// `spacing` positions from that start.
+///
+/// (Open trails cannot tie: a palindromic open word would pair up edge `i`
+/// with edge `len-1-i` as identical uid pairs — the same edge twice —
+/// leaving at most the middle edge, and a single-edge trail `[a, b]` is
+/// never a palindrome. The tie arm for open trails is defensive only.)
+pub fn trail_records(
+    g: &Graph,
+    uids: &[u64],
+    trail: &Trail,
+    short_threshold: usize,
+    spacing: usize,
+) -> Vec<(NodeId, AnchorRecord)> {
+    let len = trail.len();
+    let uid = |v: NodeId| uids[v.index()];
+    // Directed node/edge sequences and the anchored directed positions.
+    let (dnodes, dedges, positions): (Vec<NodeId>, Vec<EdgeId>, Vec<usize>) = if trail.closed {
+        let seq: Vec<u64> = trail.nodes[..len].iter().map(|&v| uid(v)).collect();
+        let (forward, force) = match cycle_canonical_forward(&seq) {
+            Some(f) => (f, false),
+            None => (tie_direction_closed(trail, uids), true),
+        };
+        if len <= short_threshold && !force {
+            return Vec::new();
         }
+        let (dn, de): (Vec<NodeId>, Vec<EdgeId>) = if forward {
+            (trail.nodes[..len].to_vec(), trail.edges.clone())
+        } else {
+            // Reversed traversal: start stays at nodes[0], then walk the
+            // enumeration backwards; directed edge i connects dn[i] to
+            // dn[(i + 1) % len].
+            let mut dn = vec![trail.nodes[0]];
+            dn.extend(trail.nodes[1..len].iter().rev());
+            (dn, trail.edges.iter().rev().copied().collect())
+        };
+        let word: Vec<u64> = dn.iter().map(|&v| uid(v)).collect();
+        let r0 = least_rotation_index(&word);
+        let count = len.div_ceil(spacing);
+        let pos = (0..count).map(|j| (r0 + j * spacing) % len).collect();
+        (dn, de, pos)
     } else {
-        let seq: Vec<u64> = trail.nodes.iter().map(|v| uids[v.index()]).collect();
-        match open_canonical_forward(&seq) {
-            Some(forward) => (forward, false),
+        let seq: Vec<u64> = trail.nodes.iter().map(|&v| uid(v)).collect();
+        let (forward, force) = match open_canonical_forward(&seq) {
+            Some(f) => (f, false),
             None => (true, true),
+        };
+        if len <= short_threshold && !force {
+            return Vec::new();
         }
-    }
+        let (dn, de): (Vec<NodeId>, Vec<EdgeId>) = if forward {
+            (trail.nodes.clone(), trail.edges.clone())
+        } else {
+            (
+                trail.nodes.iter().rev().copied().collect(),
+                trail.edges.iter().rev().copied().collect(),
+            )
+        };
+        let pos = (1..len).step_by(spacing).collect();
+        (dn, de, pos)
+    };
+    positions
+        .into_iter()
+        .map(|p| {
+            let w = dnodes[p];
+            // Directed edge i runs dnodes[i] -> dnodes[i + 1]; the trail
+            // enters position p via edge p-1 (cyclically for closed
+            // trails; open anchors sit at interior positions, p >= 1).
+            let arrive = dedges[(p + len - 1) % len];
+            let slot = slot_of(g, uids, w, arrive).expect("consecutive trail edges share a slot");
+            let (first, _second) = slot_edges(g, uids, w, slot);
+            (
+                w,
+                AnchorRecord {
+                    slot,
+                    enters_first: arrive == first,
+                },
+            )
+        })
+        .collect()
 }
 
 impl AdviceSchema for BalancedOrientationSchema {
@@ -396,28 +505,7 @@ impl AdviceSchema for BalancedOrientationSchema {
         // slots unique per node across trails), so the resulting advice is
         // bit-identical to a sequential pass by construction.
         let per_trail: Vec<Vec<(NodeId, AnchorRecord)>> = par_map(ep.trails(), |_, trail| {
-            let (forward, force_anchor) = choose_direction(trail, uids);
-            if trail.len() <= self.short_threshold && !force_anchor {
-                return Vec::new();
-            }
-            let mut placed = Vec::new();
-            for i in anchor_positions(trail, self.anchor_spacing) {
-                let (w, arrive, leave) = position_info(trail, i);
-                let slot =
-                    slot_of(g, uids, w, arrive).expect("consecutive trail edges share a slot");
-                let (first, _second) = slot_edges(g, uids, w, slot);
-                // Under the chosen orientation the trail enters w via
-                // `arrive` (if forward) or via `leave` (if reversed).
-                let enters_via = if forward { arrive } else { leave };
-                placed.push((
-                    w,
-                    AnchorRecord {
-                        slot,
-                        enters_first: enters_via == first,
-                    },
-                ));
-            }
-            placed
+            trail_records(g, uids, trail, self.short_threshold, self.anchor_spacing)
         });
         let mut records: Vec<Vec<AnchorRecord>> = vec![Vec::new(); g.n()];
         for placed in per_trail {

@@ -48,6 +48,7 @@ pub mod advice;
 pub mod balanced;
 pub mod bits;
 pub mod checked;
+pub mod churn;
 pub mod cluster_coloring;
 pub mod composable;
 pub mod compose;

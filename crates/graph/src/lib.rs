@@ -46,6 +46,7 @@ pub mod generators;
 pub mod graph;
 pub mod growth;
 pub mod ids;
+pub mod mutate;
 pub mod orientation;
 pub mod power;
 pub mod ruling;
@@ -56,6 +57,7 @@ pub use builder::GraphBuilder;
 pub use frontier::BitFrontier;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use ids::IdAssignment;
+pub use mutate::{Edit, EditReport, MutableGraph};
 pub use orientation::{EulerPartition, Orientation, Trail};
 pub use subgraph::InducedSubgraph;
 pub mod degeneracy;

@@ -1,0 +1,430 @@
+//! Edge churn over the immutable CSR: an edit-log layer that rebuilds
+//! [`Graph`]s batch-by-batch and answers *what a batch invalidated*.
+//!
+//! # Why a rebuild layer instead of in-place surgery
+//!
+//! Two of the CSR's identities are global, so no edit is ever local to it:
+//!
+//! * **Edge ids** index the lex-sorted `(min, max)` edge list. Inserting or
+//!   removing `{u, v}` shifts the id of every edge at or after its sorted
+//!   position.
+//! * **Ports** are positions in a node's neighbor list sorted by index.
+//!   Inserting `{u, v}` shifts by one the port of every neighbor of `u`
+//!   larger than `v` (and symmetrically at `v`).
+//!
+//! [`MutableGraph::apply`] therefore renumbers wholesale: it merges the
+//! batch into the sorted edge list and rebuilds through
+//! [`crate::builder::from_sorted_edges`] — `O(n + m + k log k)` for a
+//! `k`-edit batch, and **bit-identical** to what [`crate::GraphBuilder`]
+//! would produce from the same edge set (pinned by a property test).
+//! Callers that must survive renumbering key their state by stable data —
+//! `(uid, uid)` endpoint pairs — never by [`EdgeId`] or port.
+//!
+//! # What stays local: invalidation
+//!
+//! The paper's locality guarantee is exactly what makes churn cheap at the
+//! *semantic* layer: a node's radius-`r` view is a function of its ball, so
+//! an edit to `{a, b}` can change the view of `v` only if an endpoint lies
+//! within distance `r` of `v` — in the old graph (deletions push members
+//! out, so old routes matter) or in the new one (insertions pull members
+//! in). [`MutableGraph::dirty_within`] returns that set by multi-source BFS
+//! from every touched endpoint in *both* graphs: `O(Δ^r)` nodes per touched
+//! endpoint, independent of `n`. Soundness (every node whose ball changed
+//! is dirty) is enforced by brute-force ball diffs in
+//! `crates/runtime/tests/churn.rs`.
+//!
+//! The node set is fixed: churn is about edges. Batches may freely insert
+//! and remove, including cancelling pairs; cancelled edits still mark their
+//! endpoints touched (a sound over-approximation).
+
+use crate::builder::from_sorted_edges;
+use crate::graph::{Graph, NodeId};
+
+/// One edge edit. Endpoints are unordered; `Insert(u, v)` and
+/// `Insert(v, u)` are the same edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert the edge `{u, v}`. A no-op (skipped, not applied) if the
+    /// edge is already present at that point of the batch.
+    Insert(NodeId, NodeId),
+    /// Remove the edge `{u, v}`. A no-op if the edge is absent at that
+    /// point of the batch.
+    Remove(NodeId, NodeId),
+}
+
+impl Edit {
+    /// The edit's endpoints as a normalized `(min, max)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        let (u, v) = match *self {
+            Edit::Insert(u, v) | Edit::Remove(u, v) => (u, v),
+        };
+        assert_ne!(u, v, "self-loops are not allowed");
+        (u.min(v), u.max(v))
+    }
+}
+
+/// What one [`MutableGraph::apply`] batch did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditReport {
+    /// Edits that changed the (intermediate) edge set.
+    pub applied: usize,
+    /// No-op edits: inserting a present edge, removing an absent one.
+    pub skipped: usize,
+    /// Endpoints of applied edits, sorted and deduplicated. These are the
+    /// nodes whose incident edge lists (and hence ports, slot pairings)
+    /// changed.
+    pub touched: Vec<NodeId>,
+}
+
+/// An edit-log mutation layer over the immutable [`Graph`].
+///
+/// Holds the current graph, the snapshot the current *dirty epoch* started
+/// from, and the set of touched endpoints accumulated since. Typical loop:
+///
+/// ```
+/// use lad_graph::{generators, mutate::{Edit, MutableGraph}, NodeId};
+///
+/// let mut mg = MutableGraph::new(generators::cycle(8));
+/// let report = mg.apply(&[Edit::Remove(NodeId(0), NodeId(1)), Edit::Insert(NodeId(0), NodeId(4))]);
+/// assert_eq!(report.applied, 2);
+/// assert!(mg.graph().has_edge(NodeId(0), NodeId(4)));
+/// let dirty = mg.dirty_within(2); // invalidated radius-2 views
+/// assert!(dirty.contains(&NodeId(1)) && dirty.contains(&NodeId(4)));
+/// mg.clear_dirty(); // start the next epoch
+/// assert!(mg.dirty_within(2).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutableGraph {
+    /// The current graph.
+    graph: Graph,
+    /// The graph as of the last [`MutableGraph::clear_dirty`] (or
+    /// construction) — the "old routes" side of [`Self::dirty_within`].
+    base: Graph,
+    /// Nodes whose incident edge set changed since `base`, as flags.
+    touched: Vec<bool>,
+    /// Count of set flags, so `touched_nodes` can size exactly.
+    touched_count: usize,
+}
+
+impl MutableGraph {
+    /// Starts an edit log over `graph` with an empty dirty epoch.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.n();
+        MutableGraph {
+            base: graph.clone(),
+            graph,
+            touched: vec![false; n],
+            touched_count: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The snapshot the current dirty epoch started from.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Nodes whose incident edge set changed since the epoch started,
+    /// sorted.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.touched_count);
+        out.extend(
+            self.touched
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t)
+                .map(|(i, _)| NodeId::from_index(i)),
+        );
+        out
+    }
+
+    /// Whether any edit has been applied since the epoch started.
+    pub fn is_dirty(&self) -> bool {
+        self.touched_count > 0
+    }
+
+    /// Inserts `{u, v}`; returns whether the graph changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.apply(&[Edit::Insert(u, v)]).applied == 1
+    }
+
+    /// Removes `{u, v}`; returns whether the graph changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.apply(&[Edit::Remove(u, v)]).applied == 1
+    }
+
+    /// Applies a batch of edits in order (later edits see earlier ones),
+    /// rebuilds the CSR once, and extends the dirty epoch with every
+    /// applied edit's endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn apply(&mut self, edits: &[Edit]) -> EditReport {
+        use std::collections::BTreeSet;
+        let n = self.graph.n();
+        let mut add: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut del: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut report = EditReport::default();
+        let mut touched_now: BTreeSet<NodeId> = BTreeSet::new();
+        for edit in edits {
+            let (u, v) = edit.endpoints();
+            assert!(
+                v.index() < n,
+                "endpoint out of range: {u:?}, {v:?} with n = {n}"
+            );
+            let in_graph = self.graph.has_edge(u, v);
+            let present = (in_graph && !del.contains(&(u, v))) || add.contains(&(u, v));
+            let applied = match edit {
+                Edit::Insert(..) if present => false,
+                Edit::Insert(..) => {
+                    if in_graph {
+                        del.remove(&(u, v));
+                    } else {
+                        add.insert((u, v));
+                    }
+                    true
+                }
+                Edit::Remove(..) if !present => false,
+                Edit::Remove(..) => {
+                    if add.contains(&(u, v)) {
+                        add.remove(&(u, v));
+                    } else {
+                        del.insert((u, v));
+                    }
+                    true
+                }
+            };
+            if applied {
+                report.applied += 1;
+                touched_now.insert(u);
+                touched_now.insert(v);
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report.touched = touched_now.into_iter().collect();
+        for &w in &report.touched {
+            if !self.touched[w.index()] {
+                self.touched[w.index()] = true;
+                self.touched_count += 1;
+            }
+        }
+        if !add.is_empty() || !del.is_empty() {
+            // Merge the sorted current edge list with the sorted delta:
+            // one linear pass keeps `from_sorted_edges`'s invariant
+            // (lex-sorted, deduplicated) by construction.
+            let mut merged: Vec<(NodeId, NodeId)> =
+                Vec::with_capacity(self.graph.m() + add.len() - del.len());
+            let mut ins = add.into_iter().peekable();
+            for (_, e) in self.graph.edges() {
+                while ins.peek().is_some_and(|&a| a < e) {
+                    merged.push(ins.next().expect("peeked"));
+                }
+                if !del.contains(&e) {
+                    merged.push(e);
+                }
+            }
+            merged.extend(ins);
+            self.graph = from_sorted_edges(n, merged);
+        }
+        report
+    }
+
+    /// The nodes whose radius-`radius` views the current dirty epoch may
+    /// have changed: everything within distance `radius` of a touched
+    /// endpoint in the epoch's base graph *or* the current graph, sorted.
+    ///
+    /// This is a sound over-approximation of "ball changed" (deletions are
+    /// witnessed by old routes, insertions by new ones); the differential
+    /// churn harness checks soundness against brute-force ball diffs.
+    pub fn dirty_within(&self, radius: usize) -> Vec<NodeId> {
+        let sources = self.touched_nodes();
+        let mut dirty = vec![false; self.graph.n()];
+        for g in [&self.base, &self.graph] {
+            let mut seen = vec![false; g.n()];
+            let mut frontier: Vec<NodeId> = sources.clone();
+            for &s in &frontier {
+                seen[s.index()] = true;
+                dirty[s.index()] = true;
+            }
+            let mut next = Vec::new();
+            for _ in 0..radius {
+                for &v in &frontier {
+                    for &u in g.neighbors(v) {
+                        if !seen[u.index()] {
+                            seen[u.index()] = true;
+                            dirty[u.index()] = true;
+                            next.push(u);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                next.clear();
+            }
+        }
+        dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Ends the dirty epoch: the current graph becomes the new base and the
+    /// touched set empties. Call after consumers have repaired everything
+    /// [`Self::dirty_within`] reported.
+    pub fn clear_dirty(&mut self) {
+        if self.touched_count > 0 {
+            self.base = self.graph.clone();
+            self.touched.fill(false);
+            self.touched_count = 0;
+        }
+    }
+
+    /// Consumes the log, returning the current graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut mg = MutableGraph::new(generators::path(4));
+        assert!(mg.insert_edge(NodeId(0), NodeId(3)));
+        assert!(!mg.insert_edge(NodeId(3), NodeId(0)), "duplicate");
+        assert!(mg.graph().has_edge(NodeId(0), NodeId(3)));
+        assert!(mg.remove_edge(NodeId(0), NodeId(3)));
+        assert!(!mg.remove_edge(NodeId(0), NodeId(3)), "already gone");
+        assert_eq!(mg.graph().m(), 3);
+    }
+
+    #[test]
+    fn batch_sees_earlier_edits() {
+        let mut mg = MutableGraph::new(generators::path(3));
+        let report = mg.apply(&[
+            Edit::Insert(NodeId(0), NodeId(2)),
+            Edit::Remove(NodeId(0), NodeId(2)),
+            Edit::Insert(NodeId(0), NodeId(2)),
+        ]);
+        assert_eq!(report.applied, 3);
+        assert_eq!(report.skipped, 0);
+        assert!(mg.graph().has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn cancelling_pair_still_touches() {
+        let mut mg = MutableGraph::new(generators::cycle(6));
+        let report = mg.apply(&[
+            Edit::Insert(NodeId(0), NodeId(3)),
+            Edit::Remove(NodeId(0), NodeId(3)),
+        ]);
+        assert_eq!(report.applied, 2);
+        assert_eq!(*mg.graph(), *mg.base(), "net no-op rebuilds identically");
+        assert_eq!(report.touched, vec![NodeId(0), NodeId(3)]);
+        assert!(mg.is_dirty());
+    }
+
+    #[test]
+    fn rebuild_matches_builder() {
+        let mut mg = MutableGraph::new(generators::cycle(7));
+        mg.apply(&[
+            Edit::Remove(NodeId(2), NodeId(3)),
+            Edit::Insert(NodeId(2), NodeId(5)),
+            Edit::Insert(NodeId(0), NodeId(3)),
+        ]);
+        let expect = from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (0, 6),
+                (2, 5),
+                (0, 3),
+            ],
+        );
+        assert_eq!(*mg.graph(), expect);
+    }
+
+    #[test]
+    fn dirty_within_covers_both_graphs() {
+        // Remove an edge: its endpoints' old neighbors are dirty via the
+        // base graph even though the new graph no longer routes there.
+        let mut mg = MutableGraph::new(generators::path(9));
+        mg.remove_edge(NodeId(4), NodeId(5));
+        let dirty = mg.dirty_within(2);
+        assert_eq!(
+            dirty,
+            vec![
+                NodeId(2),
+                NodeId(3),
+                NodeId(4),
+                NodeId(5),
+                NodeId(6),
+                NodeId(7)
+            ]
+        );
+    }
+
+    #[test]
+    fn dirty_epoch_accumulates_and_clears() {
+        let mut mg = MutableGraph::new(generators::cycle(10));
+        mg.remove_edge(NodeId(0), NodeId(1));
+        mg.insert_edge(NodeId(4), NodeId(7));
+        let dirty = mg.dirty_within(0);
+        assert_eq!(dirty, vec![NodeId(0), NodeId(1), NodeId(4), NodeId(7)]);
+        mg.clear_dirty();
+        assert!(!mg.is_dirty());
+        assert!(mg.dirty_within(3).is_empty());
+        assert_eq!(*mg.base(), *mg.graph());
+    }
+
+    #[test]
+    fn skipped_edits_do_not_touch() {
+        let mut mg = MutableGraph::new(generators::path(5));
+        let report = mg.apply(&[
+            Edit::Insert(NodeId(0), NodeId(1)), // already present
+            Edit::Remove(NodeId(0), NodeId(4)), // absent
+        ]);
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.skipped, 2);
+        assert!(!mg.is_dirty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        MutableGraph::new(generators::path(3)).insert_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        MutableGraph::new(generators::path(3)).insert_edge(NodeId(0), NodeId(9));
+    }
+}

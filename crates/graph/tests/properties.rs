@@ -153,6 +153,60 @@ proptest! {
     }
 
     #[test]
+    fn mutable_graph_rebuild_equals_builder_on_post_edit_graphs(
+        g in arb_graph(),
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..24),
+    ) {
+        use lad_graph::mutate::{Edit, MutableGraph};
+        use std::collections::BTreeSet;
+        let n = g.n();
+        let edits: Vec<Edit> = raw
+            .into_iter()
+            .filter_map(|(u, v, insert)| {
+                let (u, v) = (NodeId((u as usize % n) as u32), NodeId((v as usize % n) as u32));
+                if u == v {
+                    return None;
+                }
+                Some(if insert { Edit::Insert(u, v) } else { Edit::Remove(u, v) })
+            })
+            .collect();
+        // Apply in two batches so the linear merge runs against an
+        // already-rebuilt CSR, not just the pristine one.
+        let mut mg = MutableGraph::new(g.clone());
+        let mid = edits.len() / 2;
+        mg.apply(&edits[..mid]);
+        mg.apply(&edits[mid..]);
+        // Reference: the final edge set, built from scratch.
+        let mut want: BTreeSet<(NodeId, NodeId)> =
+            g.edges().map(|(_, e)| e).collect();
+        for e in &edits {
+            let (u, v) = e.endpoints();
+            match e {
+                Edit::Insert(..) => {
+                    want.insert((u, v));
+                }
+                Edit::Remove(..) => {
+                    want.remove(&(u, v));
+                }
+            }
+        }
+        let mut b = builder::GraphBuilder::new(n);
+        for &(u, v) in &want {
+            b.add_edge(u, v);
+        }
+        let reference = b.build();
+        prop_assert_eq!(mg.graph(), &reference);
+        // Touched bookkeeping: every endpoint of a net edge-set change is
+        // reported dirty at radius 0.
+        let before: BTreeSet<(NodeId, NodeId)> = g.edges().map(|(_, e)| e).collect();
+        let dirty = mg.dirty_within(0);
+        for (u, v) in before.symmetric_difference(&want) {
+            prop_assert!(dirty.binary_search(u).is_ok(), "endpoint {u:?} not dirty");
+            prop_assert!(dirty.binary_search(v).is_ok(), "endpoint {v:?} not dirty");
+        }
+    }
+
+    #[test]
     fn uid_ranks_are_order_invariant(n in 2usize..30, seed in 0u64..50) {
         let a = lad_graph::IdAssignment::random_permutation(n, seed);
         // Stretch uids monotonically: ranks must not change.

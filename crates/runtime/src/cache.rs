@@ -88,6 +88,10 @@ pub struct CacheStats {
     /// Requests answered by growing or slicing an existing membership
     /// (cheaper than a miss, costlier than a hit).
     pub expansions: u64,
+    /// Slots evicted by [`ViewCache::invalidate`] that actually held
+    /// content (a warm ball or membership). Evicting an empty slot is
+    /// free and not counted.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -113,6 +117,7 @@ pub struct ViewCache<In> {
     hits: AtomicU64,
     misses: AtomicU64,
     expansions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl<In: Clone> ViewCache<In> {
@@ -123,6 +128,7 @@ impl<In: Clone> ViewCache<In> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             expansions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -211,7 +217,38 @@ impl<In: Clone> ViewCache<In> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             expansions: self.expansions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Evicts the cached state of exactly `nodes` — their materialized
+    /// balls *and* their BFS memberships — leaving every other slot warm.
+    ///
+    /// This is the churn eviction primitive: after an edit batch, only the
+    /// nodes reported by `MutableGraph::dirty_within(radius)` can have
+    /// stale radius-`≤ radius` views, so evicting exactly that set restores
+    /// cache/`Ball::collect` agreement on the mutated graph while keeping
+    /// the (typically vast) clean majority hot. The next request for an
+    /// evicted node re-gathers and re-enters the normal cold-slot protocol.
+    ///
+    /// Counters: `invalidations` grows by the number of evicted slots that
+    /// actually held content; hits/misses/expansions are untouched, so
+    /// warm-hit stats across evict/re-key cycles remain a faithful request
+    /// log.
+    pub fn invalidate(&self, nodes: &[NodeId]) {
+        let mut evicted = 0u64;
+        for &v in nodes {
+            let mut slot = self.slots[v.index()]
+                .lock()
+                .expect("view-cache slot poisoned");
+            if slot.members.is_some() || slot.first.is_some() || !slot.more.is_empty() {
+                evicted += 1;
+            }
+            slot.members = None;
+            slot.first = None;
+            slot.more.clear();
+        }
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Drops all cached memberships and balls, keeping the counters.
@@ -269,7 +306,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                expansions: 0
+                expansions: 0,
+                invalidations: 0
             }
         );
     }
@@ -287,7 +325,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 1,
-                expansions: 0
+                expansions: 0,
+                invalidations: 0
             }
         );
 
@@ -300,7 +339,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 1,
-                expansions: 1
+                expansions: 1,
+                invalidations: 0
             }
         );
 
@@ -312,7 +352,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 1,
-                expansions: 2
+                expansions: 2,
+                invalidations: 0
             }
         );
 
@@ -325,7 +366,8 @@ mod tests {
             CacheStats {
                 hits: 3,
                 misses: 1,
-                expansions: 2
+                expansions: 2,
+                invalidations: 0
             }
         );
 
@@ -353,7 +395,8 @@ mod tests {
             CacheStats {
                 hits: 5,
                 misses: 1,
-                expansions: 4
+                expansions: 4,
+                invalidations: 0
             }
         );
         assert_eq!(cache.stats().requests(), 10);
@@ -373,7 +416,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 2,
-                expansions: 0
+                expansions: 0,
+                invalidations: 0
             }
         );
     }

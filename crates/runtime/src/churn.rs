@@ -1,0 +1,419 @@
+//! Incremental execution under edge churn.
+//!
+//! A LOCAL algorithm's output at `v` is a pure function of `v`'s
+//! radius-`T` view, so an edge edit can change outputs only within
+//! distance `T` of its endpoints — `O(Δ^T)` nodes, independent of `n`.
+//! The sessions here exploit that: run once from scratch, then after each
+//! edit batch recompute **only** the nodes
+//! [`MutableGraph::dirty_within`]`(T)` reports, keeping everything else
+//! (outputs, cached balls, memoized classes) warm.
+//!
+//! Two sessions, mirroring the two executor families:
+//!
+//! * [`ChurnLocal`] — the plain path. Keeps a [`ViewCache`]; a batch
+//!   evicts exactly the dirty slots ([`ViewCache::invalidate`]) and
+//!   re-runs the per-node algorithm there. Clean nodes' cached balls stay
+//!   valid across the rebuild because a ball at radius `≤ T` of a
+//!   non-dirty node is — by the same locality argument — identical in the
+//!   old and new graphs.
+//! * [`ChurnMemoLocal`] — the memoized path. Keeps a persistent class
+//!   memo with **per-class membership counts**: every node logs the chain
+//!   of classes it confirmed (each `Expand` rung plus its final verdict),
+//!   a batch releases the dirty nodes' chains, classes that lose their
+//!   last member are retired, and the dirty nodes re-probe through a
+//!   fresh [`ShellEngine`] tile sweep — paying canonical re-keying for
+//!   `O(dirty)` centers, not `n`. Classes are keyed by canonical ball
+//!   structure, which is graph-independent, so surviving classes serve
+//!   the mutated graph unchanged (and stay under the same geometric
+//!   re-verification schedule as in the one-shot executors).
+//!
+//! Both sessions are pinned by the churn differential harness
+//! (`crates/runtime/tests/churn.rs`): after every batch, their outputs
+//! must be **bit-identical** to a from-scratch [`run_local`] /
+//! [`run_local_memo`] on the mutated graph.
+//!
+//! One scoping caveat: the contract covers outputs determined by the
+//! LOCAL-model view — structure, distances, identifiers, inputs, global
+//! degrees. Global [`EdgeId`]s are *not* view information (the model has
+//! no edge identifiers; ours index the CSR's lex-sorted edge list and
+//! renumber wholesale on any edit), so an algorithm that copies
+//! [`crate::Ball::global_edge`] values into its output is not a function
+//! of its view and falls outside the repair guarantee — a clean node's
+//! ball is identical across an edit in every respect *except* that
+//! table.
+//!
+//! [`EdgeId`]: lad_graph::EdgeId
+//!
+//! [`run_local`]: crate::run_local
+//! [`run_local_memo`]: crate::run_local_memo
+
+use crate::ball::Scratch;
+use crate::cache::{CacheStats, ViewCache};
+use crate::canonical::CanonScratch;
+use crate::ctx::NodeCtx;
+use crate::executor::{
+    bfs_visit_order, flush_memo_stats, memo_first_error, memo_run_tile, ClassMemo, ClassRef,
+    MemoStats, MemoStep, RoundStats,
+};
+use crate::lookup::NotOrderInvariant;
+use crate::network::Network;
+use crate::shell::{ShellEngine, TILE_WIDTH};
+use lad_graph::mutate::{Edit, MutableGraph};
+use lad_graph::NodeId;
+use std::cell::RefCell;
+
+/// What one [`ChurnLocal::apply`] / [`ChurnMemoLocal::apply`] batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Edits that changed the edge set.
+    pub applied: usize,
+    /// No-op edits (inserting a present edge, removing an absent one).
+    pub skipped: usize,
+    /// Nodes invalidated and recomputed this batch.
+    pub repaired: usize,
+    /// Repaired nodes whose output actually changed.
+    pub changed: usize,
+    /// Memo classes retired because the batch released their last member
+    /// (always 0 for [`ChurnLocal`], which has no memo).
+    pub retired_classes: usize,
+}
+
+/// Incremental plain-executor session: outputs kept current under edge
+/// churn by recomputing only invalidated nodes, against a warm
+/// [`ViewCache`].
+///
+/// `radius` is the algorithm's locality bound `T`: the session asserts
+/// that no node ever requests a view beyond it (the invalidation argument
+/// is unsound past the bound, so this is a hard contract, not a hint).
+pub struct ChurnLocal<In, Out, A> {
+    mg: MutableGraph,
+    net: Network<In>,
+    cache: ViewCache<In>,
+    algo: A,
+    radius: usize,
+    outs: Vec<Out>,
+    per_node: Vec<usize>,
+}
+
+impl<In: Clone, Out: PartialEq, A: Fn(&NodeCtx<In>) -> Out> ChurnLocal<In, Out, A> {
+    /// Runs `algo` at every node of `net` (exactly like
+    /// [`crate::run_local_cached`] over a fresh cache) and opens a churn
+    /// session over the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node requests a view of radius greater than `radius`.
+    pub fn new(net: Network<In>, radius: usize, algo: A) -> Self {
+        let n = net.graph().n();
+        let mg = MutableGraph::new(net.graph().clone());
+        let cache = ViewCache::for_network(&net);
+        let mut session = ChurnLocal {
+            mg,
+            net,
+            cache,
+            algo,
+            radius,
+            outs: Vec::with_capacity(n),
+            per_node: Vec::with_capacity(n),
+        };
+        let scratch = RefCell::new(Scratch::new(n));
+        for v in session.net.graph().nodes() {
+            let ctx = NodeCtx::with_cache(&session.net, v, &session.cache, &scratch);
+            let out = (session.algo)(&ctx);
+            session.check_radius(v, ctx.rounds_used());
+            session.outs.push(out);
+            session.per_node.push(ctx.rounds_used());
+        }
+        session
+    }
+
+    fn check_radius(&self, v: NodeId, used: usize) {
+        assert!(
+            used <= self.radius,
+            "locality bound violated: node {v:?} used radius {used} > {} — \
+             incremental repair would be unsound",
+            self.radius
+        );
+    }
+
+    /// Applies an edit batch, repairs every invalidated node, and returns
+    /// what changed. After this call [`Self::outputs`] is bit-identical to
+    /// a from-scratch run on the mutated graph.
+    pub fn apply(&mut self, edits: &[Edit]) -> RepairReport {
+        let edit_report = self.mg.apply(edits);
+        let dirty = self.mg.dirty_within(self.radius);
+        // Same node set, new adjacency; uids and inputs carry over.
+        self.net = Network::new(
+            self.mg.graph().clone(),
+            self.net.ids().clone(),
+            self.net.inputs().to_vec(),
+        );
+        self.cache.invalidate(&dirty);
+        let scratch = RefCell::new(Scratch::new(self.net.graph().n()));
+        let mut changed = 0usize;
+        for &v in &dirty {
+            let ctx = NodeCtx::with_cache(&self.net, v, &self.cache, &scratch);
+            let out = (self.algo)(&ctx);
+            self.check_radius(v, ctx.rounds_used());
+            self.per_node[v.index()] = ctx.rounds_used();
+            if self.outs[v.index()] != out {
+                self.outs[v.index()] = out;
+                changed += 1;
+            }
+        }
+        self.mg.clear_dirty();
+        RepairReport {
+            applied: edit_report.applied,
+            skipped: edit_report.skipped,
+            repaired: dirty.len(),
+            changed,
+            retired_classes: 0,
+        }
+    }
+
+    /// The current per-node outputs (always consistent with
+    /// [`Self::network`]).
+    pub fn outputs(&self) -> &[Out] {
+        &self.outs
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &Network<In> {
+        &self.net
+    }
+
+    /// Per-node view radii of the current outputs.
+    pub fn round_stats(&self) -> RoundStats {
+        RoundStats::from_per_node(self.per_node.clone())
+    }
+
+    /// The session cache's counters — `invalidations` tracks evicted warm
+    /// slots across batches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Incremental memoized session: like [`ChurnLocal`] but decoding once
+/// per canonical class, with the class store kept alive across batches.
+///
+/// `initial_radius`/`step` follow the [`crate::run_local_memo`] ladder
+/// contract ([`MemoStep::Done`] / [`MemoStep::Expand`]); `max_radius`
+/// bounds every rung the ladder may reach and doubles as the invalidation
+/// radius. Errors follow [`crate::run_local_memo_fallible`]: the
+/// first-in-node-order per-node error, or [`NotOrderInvariant`] if the
+/// step is not class-determined. Only dirty nodes can *start* failing
+/// after a batch, so the smallest-index dirty failure is the global
+/// first error. A batch that errors poisons the session (its partial
+/// state is unreleased); every later call panics.
+pub struct ChurnMemoLocal<In, Out, Tag, Step> {
+    mg: MutableGraph,
+    net: Network<In>,
+    input_tag: Tag,
+    step: Step,
+    initial_radius: usize,
+    max_radius: usize,
+    memo: ClassMemo<Out>,
+    /// Per node: the chain of classes it currently pins (one per ladder
+    /// rung, final verdict last). Released on invalidation.
+    assign: Vec<Vec<ClassRef>>,
+    outs: Vec<Option<Out>>,
+    per_node: Vec<usize>,
+    poisoned: bool,
+}
+
+impl<In, Out, Tag, Step> ChurnMemoLocal<In, Out, Tag, Step>
+where
+    In: Clone,
+    Out: Clone + PartialEq,
+    Tag: Fn(&In, &mut Vec<u64>),
+{
+    /// Decodes every node of `net` through a fresh class memo and opens a
+    /// churn session over the result.
+    pub fn new<E>(
+        net: Network<In>,
+        initial_radius: usize,
+        max_radius: usize,
+        input_tag: Tag,
+        step: Step,
+    ) -> Result<Self, E>
+    where
+        E: From<NotOrderInvariant>,
+        Step: Fn(&crate::Ball<In>) -> Result<MemoStep<Out>, E>,
+    {
+        assert!(initial_radius <= max_radius);
+        let n = net.graph().n();
+        let mut session = ChurnMemoLocal {
+            mg: MutableGraph::new(net.graph().clone()),
+            net,
+            input_tag,
+            step,
+            initial_radius,
+            max_radius,
+            memo: ClassMemo::default(),
+            assign: vec![Vec::new(); n],
+            outs: std::iter::repeat_with(|| None).take(n).collect(),
+            per_node: vec![0; n],
+            poisoned: false,
+        };
+        let order = bfs_visit_order(session.net.graph());
+        session.repair(&order)?;
+        Ok(session)
+    }
+
+    /// Re-decodes `centers` against the persistent memo through one fresh
+    /// tile sweep. Every confirmed/created class is appended to the
+    /// centers' assignment chains (the caller must have released the old
+    /// chains first).
+    fn repair<E>(&mut self, centers: &[NodeId]) -> Result<(), E>
+    where
+        E: From<NotOrderInvariant>,
+        Step: Fn(&crate::Ball<In>) -> Result<MemoStep<Out>, E>,
+    {
+        let n = self.net.graph().n();
+        let mut stats = MemoStats::default();
+        // The engine is per-network (the graph changed), but its cost is
+        // O(1) setup plus the swept shells — the persistent state that
+        // matters across batches is the memo, not the engine.
+        let mut engine = ShellEngine::new(&self.net, &self.input_tag);
+        let mut failed: Vec<usize> = Vec::new();
+        let mut conflict = None;
+        for tile in centers.chunks(TILE_WIDTH) {
+            if let Err(c) = memo_run_tile(
+                &self.net,
+                tile,
+                0,
+                self.initial_radius,
+                &self.input_tag,
+                &self.step,
+                &mut self.memo,
+                &mut engine,
+                &mut stats,
+                &mut failed,
+                &mut self.outs,
+                &mut self.per_node,
+                Some(&mut self.assign),
+            ) {
+                conflict = Some(c);
+                break;
+            }
+        }
+        flush_memo_stats(&stats);
+        if let Some(c) = conflict {
+            self.poisoned = true;
+            return Err(c.into());
+        }
+        if let Some(&i) = failed.iter().min() {
+            self.poisoned = true;
+            let mut scratch = Scratch::new(n);
+            let mut cscratch = CanonScratch::new();
+            return Err(memo_first_error(
+                &self.net,
+                NodeId::from_index(i),
+                self.initial_radius,
+                &self.input_tag,
+                &self.step,
+                &mut scratch,
+                &mut cscratch,
+            ));
+        }
+        for &v in centers {
+            assert!(
+                self.per_node[v.index()] <= self.max_radius,
+                "locality bound violated: node {v:?} reached radius {} > {} — \
+                 incremental repair would be unsound",
+                self.per_node[v.index()],
+                self.max_radius
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies an edit batch: releases the dirty nodes' class memberships
+    /// (retiring classes at zero members), re-probes exactly those nodes,
+    /// and returns what changed. After an `Ok`, [`Self::outputs`] is
+    /// bit-identical to a from-scratch memoized run on the mutated graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous batch returned an error (the session is
+    /// poisoned).
+    pub fn apply<E>(&mut self, edits: &[Edit]) -> Result<RepairReport, E>
+    where
+        E: From<NotOrderInvariant>,
+        Step: Fn(&crate::Ball<In>) -> Result<MemoStep<Out>, E>,
+    {
+        assert!(
+            !self.poisoned,
+            "churn session poisoned by an earlier error; rebuild it"
+        );
+        let edit_report = self.mg.apply(edits);
+        let dirty = self.mg.dirty_within(self.max_radius);
+        self.net = Network::new(
+            self.mg.graph().clone(),
+            self.net.ids().clone(),
+            self.net.inputs().to_vec(),
+        );
+        let mut retired = 0usize;
+        let old: Vec<Option<Out>> = dirty
+            .iter()
+            .map(|v| {
+                for class in std::mem::take(&mut self.assign[v.index()]) {
+                    if self.memo.release(class) {
+                        retired += 1;
+                    }
+                }
+                self.outs[v.index()].take()
+            })
+            .collect();
+        self.repair(&dirty)?;
+        let changed = dirty
+            .iter()
+            .zip(&old)
+            .filter(|(v, old)| old.as_ref() != self.outs[v.index()].as_ref())
+            .count();
+        self.mg.clear_dirty();
+        Ok(RepairReport {
+            applied: edit_report.applied,
+            skipped: edit_report.skipped,
+            repaired: dirty.len(),
+            changed,
+            retired_classes: retired,
+        })
+    }
+
+    /// The current per-node outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is poisoned.
+    pub fn outputs(&self) -> Vec<Out> {
+        assert!(!self.poisoned, "churn session poisoned");
+        self.outs
+            .iter()
+            .map(|o| o.clone().expect("healthy session fills every node"))
+            .collect()
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &Network<In> {
+        &self.net
+    }
+
+    /// Per-node view radii of the current outputs.
+    pub fn round_stats(&self) -> RoundStats {
+        RoundStats::from_per_node(self.per_node.clone())
+    }
+
+    /// Live classes in the persistent memo.
+    pub fn class_count(&self) -> usize {
+        self.memo.class_count()
+    }
+
+    /// Total class memberships — equals the summed length of all
+    /// assignment chains (one membership per confirmed ladder rung per
+    /// node); an invariant the churn tests check across batches.
+    pub fn member_count(&self) -> usize {
+        self.memo.member_count()
+    }
+}

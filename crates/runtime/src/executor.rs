@@ -644,7 +644,7 @@ static MEMO_SWEEP_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_KEY_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_EVAL_NS: AtomicU64 = AtomicU64::new(0);
 
-fn flush_memo_stats(s: &MemoStats) {
+pub(crate) fn flush_memo_stats(s: &MemoStats) {
     MEMO_LOOKUPS.fetch_add(s.lookups, Ordering::Relaxed);
     MEMO_CLASSES.fetch_add(s.classes, Ordering::Relaxed);
     MEMO_HITS.fetch_add(s.hits, Ordering::Relaxed);
@@ -736,7 +736,7 @@ impl std::hash::Hasher for KeyHasher {
 type KeyHashMap<V> = HashMap<CanonicalKey, V, std::hash::BuildHasherDefault<KeyHasher>>;
 
 /// What the memo records for one canonical class at one rung.
-enum MemoEntryKind<Out> {
+pub(crate) enum MemoEntryKind<Out> {
     /// The class decodes to this output.
     Done(Out),
     /// The class asks for a larger radius.
@@ -749,10 +749,18 @@ enum MemoEntryKind<Out> {
     Failed,
 }
 
-struct MemoEntry<Out> {
-    kind: MemoEntryKind<Out>,
+pub(crate) struct MemoEntry<Out> {
+    pub(crate) kind: MemoEntryKind<Out>,
     /// Reuse count; drives the geometric verification schedule.
-    hits: u32,
+    pub(crate) hits: u32,
+    /// Identity stable across bucket reordering ([`ClassMemo::entry_mut`]
+    /// front-swaps on every hit), so long-lived sessions can refer to a
+    /// class without holding its key. Assigned by [`ClassMemo::insert`].
+    pub(crate) id: u64,
+    /// How many nodes currently rely on this class. Only maintained by
+    /// executors that pass an assignment log to [`memo_run_tile`] (the
+    /// churn session); the one-shot executors leave it at zero.
+    pub(crate) members: u32,
 }
 
 fn memo_kind_eq<Out: PartialEq>(a: &MemoEntryKind<Out>, b: &MemoEntryKind<Out>) -> bool {
@@ -769,7 +777,7 @@ fn memo_kind_eq<Out: PartialEq>(a: &MemoEntryKind<Out>, b: &MemoEntryKind<Out>) 
 /// frontier of their balls, so the incremental gather stays cache-hot and
 /// new canonical classes surface early (seams first, then a long run of
 /// hits).
-fn bfs_visit_order(g: &Graph) -> Vec<NodeId> {
+pub(crate) fn bfs_visit_order(g: &Graph) -> Vec<NodeId> {
     let n = g.n();
     let mut order = Vec::with_capacity(n);
     let mut seen = vec![false; n];
@@ -803,22 +811,30 @@ fn bfs_visit_order(g: &Graph) -> Vec<NodeId> {
 /// materialized when a new class is inserted.
 type Bucket<Out> = Vec<(CanonicalKey, MemoEntry<Out>)>;
 
-struct ClassMemo<Out> {
+pub(crate) struct ClassMemo<Out> {
     buckets: HashMap<u64, Bucket<Out>, std::hash::BuildHasherDefault<KeyHasher>>,
+    /// Next stable entry id; see [`MemoEntry::id`].
+    next_id: u64,
 }
 
 impl<Out> Default for ClassMemo<Out> {
     fn default() -> Self {
         ClassMemo {
             buckets: HashMap::default(),
+            next_id: 0,
         }
     }
 }
 
+/// A stable reference to one memo class: `(pre-fingerprint, entry id)`.
+/// Survives bucket reordering; used by the churn session's per-node
+/// assignment chains.
+pub(crate) type ClassRef = (u64, u64);
+
 /// Outcome of a [`ClassMemo::probe`], split so the accounting can tell a
 /// fingerprint-rejected miss from a scanned-bucket miss without counting
 /// either twice.
-enum Probe {
+pub(crate) enum Probe {
     /// Exact match at this bucket position.
     Hit(usize),
     /// No bucket for the fingerprint: rejected before exact keying.
@@ -835,7 +851,7 @@ impl<Out> ClassMemo<Out> {
     /// bucket order is first-inserted-first, so within a fingerprint bucket
     /// the probe cost is one streamed comparison per colliding class, each
     /// failing at the first differing word.
-    fn probe_with(&self, fp: u64, mut eq: impl FnMut(&[u64]) -> bool) -> Probe {
+    pub(crate) fn probe_with(&self, fp: u64, mut eq: impl FnMut(&[u64]) -> bool) -> Probe {
         match self.buckets.get(&fp) {
             None => Probe::MissRejected,
             Some(bucket) => bucket
@@ -855,8 +871,60 @@ impl<Out> ClassMemo<Out> {
         &mut bucket[0].1
     }
 
-    fn insert(&mut self, fp: u64, key: CanonicalKey, entry: MemoEntry<Out>) {
+    /// Inserts a new class and returns its stable id.
+    fn insert(&mut self, fp: u64, key: CanonicalKey, mut entry: MemoEntry<Out>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        entry.id = id;
         self.buckets.entry(fp).or_default().push((key, entry));
+        id
+    }
+
+    /// Drops one membership from the class `(fp, id)` refers to. When the
+    /// class loses its last member it is **retired**: the entry (and its
+    /// bucket, if emptied) is removed, so a later probe of the same
+    /// structure is a fresh miss that re-evaluates the step. Returns
+    /// whether the class was retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is dangling or the class has no members —
+    /// both mean the caller's assignment chains are out of sync.
+    pub(crate) fn release(&mut self, (fp, id): ClassRef) -> bool {
+        let bucket = self
+            .buckets
+            .get_mut(&fp)
+            .expect("released class has a bucket");
+        let idx = bucket
+            .iter()
+            .position(|(_, e)| e.id == id)
+            .expect("released class is present");
+        let entry = &mut bucket[idx].1;
+        assert!(entry.members > 0, "released class has members");
+        entry.members -= 1;
+        if entry.members > 0 {
+            return false;
+        }
+        bucket.swap_remove(idx);
+        if bucket.is_empty() {
+            self.buckets.remove(&fp);
+        }
+        true
+    }
+
+    /// Number of live classes.
+    pub(crate) fn class_count(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Total membership across all classes (zero for one-shot executors,
+    /// which don't log assignments).
+    pub(crate) fn member_count(&self) -> usize {
+        self.buckets
+            .values()
+            .flatten()
+            .map(|(_, e)| e.members as usize)
+            .sum()
     }
 
     fn into_entries(self) -> impl Iterator<Item = (CanonicalKey, MemoEntry<Out>)> {
@@ -878,7 +946,7 @@ impl<Out> ClassMemo<Out> {
 /// sequential driver passes full slices (`base = 0`) and the parallel
 /// driver passes its chunk (`base =` chunk start).
 #[allow(clippy::too_many_arguments)]
-fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
+pub(crate) fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
     net: &Network<In>,
     centers: &[NodeId],
     base: usize,
@@ -891,6 +959,11 @@ fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
     failed: &mut Vec<usize>,
     outs: &mut [Option<Out>],
     per_node: &mut [usize],
+    // When present (the churn session), every class a center confirms or
+    // creates — each `Expand` rung plus the final verdict — is appended to
+    // `assign[v.index() - base]` and counted in `MemoEntry::members`, so
+    // invalidation can later release exactly what this node pinned.
+    mut assign: Option<&mut [Vec<ClassRef>]>,
 ) -> Result<(), NotOrderInvariant> {
     let t0 = Instant::now();
     engine.start_tile(net, centers);
@@ -942,6 +1015,10 @@ fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
                         stats.hits += 1;
                         let entry = memo.entry_mut(fp, idx);
                         entry.hits += 1;
+                        if let Some(assign) = assign.as_deref_mut() {
+                            entry.members += 1;
+                            assign[v.index() - base].push((fp, entry.id));
+                        }
                         let verify = entry.hits.is_power_of_two();
                         let kind = match &entry.kind {
                             MemoEntryKind::Done(out) => MemoEntryKind::Done(out.clone()),
@@ -988,46 +1065,40 @@ fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
                         let res = step(&ball);
                         stats.eval_ns += t.elapsed().as_nanos() as u64;
                         let key = engine.canonical_key(bit);
-                        match res {
+                        let kind = match res {
                             Ok(MemoStep::Done(out)) => {
                                 outs[v.index() - base] = Some(out.clone());
                                 per_node[v.index() - base] = r;
-                                memo.insert(
-                                    fp,
-                                    key,
-                                    MemoEntry {
-                                        kind: MemoEntryKind::Done(out),
-                                        hits: 0,
-                                    },
-                                );
+                                MemoEntryKind::Done(out)
                             }
                             Ok(MemoStep::Expand(r2)) => {
                                 assert!(
                                     r2 > r,
                                     "MemoStep::Expand must strictly increase the radius"
                                 );
-                                memo.insert(
-                                    fp,
-                                    key,
-                                    MemoEntry {
-                                        kind: MemoEntryKind::Expand(r2),
-                                        hits: 0,
-                                    },
-                                );
                                 next.push((bit, r, r2));
+                                MemoEntryKind::Expand(r2)
                             }
                             Err(_) => {
                                 failed.push(v.index());
                                 per_node[v.index() - base] = r;
-                                memo.insert(
-                                    fp,
-                                    key,
-                                    MemoEntry {
-                                        kind: MemoEntryKind::Failed,
-                                        hits: 0,
-                                    },
-                                );
+                                MemoEntryKind::Failed
                             }
+                        };
+                        // The inserting node is the class's first member.
+                        let members = u32::from(assign.is_some());
+                        let id = memo.insert(
+                            fp,
+                            key,
+                            MemoEntry {
+                                kind,
+                                hits: 0,
+                                id: 0,
+                                members,
+                            },
+                        );
+                        if let Some(assign) = assign.as_deref_mut() {
+                            assign[v.index() - base].push((fp, id));
                         }
                     }
                 }
@@ -1043,7 +1114,7 @@ fn memo_run_tile<In: Clone, Out: Clone + PartialEq, E>(
 /// exact error — the payload addresses this node, so it cannot be shared
 /// across the class. If the replay unexpectedly succeeds (or stalls) where
 /// its class failed, the step is not order-invariant.
-fn memo_first_error<In: Clone, Out, E: From<NotOrderInvariant>>(
+pub(crate) fn memo_first_error<In: Clone, Out, E: From<NotOrderInvariant>>(
     net: &Network<In>,
     v: NodeId,
     initial_radius: usize,
@@ -1104,6 +1175,7 @@ fn run_memo_seq<In: Clone, Out: Clone + PartialEq, E: From<NotOrderInvariant>>(
             &mut failed,
             &mut outs,
             &mut per_node,
+            None,
         ) {
             flush_memo_stats(&stats);
             return Err(conflict.into());
@@ -1189,6 +1261,7 @@ where
                         &mut failed,
                         out_chunk,
                         pn_chunk,
+                        None,
                     ) {
                         let mut slot = conflict.lock().expect("conflict slot poisoned");
                         if slot.is_none() {

@@ -68,6 +68,7 @@
 pub mod ball;
 pub mod cache;
 pub mod canonical;
+pub mod churn;
 pub mod ctx;
 pub mod executor;
 pub mod gather;
@@ -82,6 +83,7 @@ pub use cache::{CacheStats, ViewCache};
 pub use canonical::{
     canonicalize, canonicalize_tagged_with, canonicalize_with, CanonScratch, CanonicalKey,
 };
+pub use churn::{ChurnLocal, ChurnMemoLocal, RepairReport};
 pub use ctx::NodeCtx;
 pub use executor::{
     effective_parallelism, memo_stats, memo_stats_reset, par_map, par_map_with, run_local,

@@ -1,0 +1,205 @@
+//! Churn differential oracle for the balanced-orientation pipeline.
+//!
+//! A [`BalancedChurnSession`] claims that after every edit batch its
+//! advice is **bit-identical** to a from-scratch
+//! [`AdviceSchema::encode`] of the mutated graph and its orientation
+//! matches a from-scratch decode. This harness pins both, across graph
+//! families, identifier assignments, schema parameters, and deterministic
+//! and proptest-shrinkable edit scripts — and additionally runs the
+//! distributed LCL checker on every released orientation, so no batch can
+//! ship an unverified output.
+
+use local_advice::core::balanced::BalancedOrientationSchema;
+use local_advice::core::churn::BalancedChurnSession;
+use local_advice::core::schema::AdviceSchema;
+use local_advice::graph::mutate::Edit;
+use local_advice::graph::{generators, Graph, IdAssignment, NodeId};
+use local_advice::lcl::problems::AlmostBalancedOrientation;
+use local_advice::lcl::{verify, witness, Labeling};
+use local_advice::runtime::Network;
+use proptest::prelude::*;
+
+fn sparse_ids(g: Graph, seed: u64) -> Network {
+    let n = g.n();
+    let space = (n as u64).pow(2).max(16);
+    Network::with_ids(g, IdAssignment::random_sparse(n, space, seed))
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn script_for(n: usize, mut seed: u64, batches: usize, per_batch: usize) -> Vec<Vec<Edit>> {
+    seed |= 1;
+    (0..batches)
+        .map(|_| {
+            (0..per_batch)
+                .filter_map(|_| {
+                    let u = (xorshift(&mut seed) % n as u64) as u32;
+                    let v = (xorshift(&mut seed) % n as u64) as u32;
+                    if u == v {
+                        return None;
+                    }
+                    Some(if xorshift(&mut seed).is_multiple_of(2) {
+                        Edit::Insert(NodeId(u), NodeId(v))
+                    } else {
+                        Edit::Remove(NodeId(u), NodeId(v))
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The oracle: repaired advice must equal a from-scratch encode bit for
+/// bit, the repaired orientation must equal a from-scratch decode, and
+/// the distributed checker must accept the released orientation.
+fn assert_matches_scratch(tag: &str, session: &BalancedChurnSession) {
+    let schema = *session.schema();
+    let net = Network::new(
+        session.graph().clone(),
+        session.network().ids().clone(),
+        vec![(); session.graph().n()],
+    );
+    let fresh = schema.encode(&net).expect("scratch encode");
+    assert_eq!(
+        session.advice().strings(),
+        fresh.strings(),
+        "{tag}: repaired advice differs from a from-scratch encode"
+    );
+    let (o, stats) = schema.decode(&net, &fresh).expect("scratch decode");
+    assert_eq!(
+        session.orientation(),
+        &o,
+        "{tag}: repaired orientation differs from a from-scratch decode"
+    );
+    assert!(stats.rounds() <= schema.decode_radius(), "{tag}: locality");
+    assert!(
+        o.is_almost_balanced(net.graph()),
+        "{tag}: orientation not almost balanced"
+    );
+    // Distributed LCL checker: every released output is verified.
+    let labels = witness::orientation_labels(net.graph(), net.uids(), session.orientation());
+    let labeling = Labeling::from_edge_labels(labels, net.graph().n());
+    let (violations, check_stats) =
+        verify::verify_distributed(&net, &AlmostBalancedOrientation, &labeling);
+    assert!(
+        violations.is_empty(),
+        "{tag}: distributed checker rejected the repaired orientation: {violations:?}"
+    );
+    assert_eq!(check_stats.rounds(), 1, "{tag}: checker is 1-round");
+}
+
+#[test]
+fn balanced_churn_matches_scratch_across_families() {
+    let families: Vec<(&str, Graph)> = vec![
+        ("cycle", generators::cycle(150)),
+        ("path", generators::path(101)),
+        ("grid", generators::grid2d(9, 9, false)),
+        ("torus", generators::grid2d(7, 7, true)),
+        (
+            "random-bounded-degree",
+            generators::random_bounded_degree(120, 6, 260, 3),
+        ),
+        (
+            "random-even-degree",
+            generators::random_even_degree(80, 10, 12, 4),
+        ),
+        ("caterpillar", generators::caterpillar(30, 2)),
+        (
+            "disconnected",
+            generators::disjoint_union(&[generators::cycle(40), generators::path(25)]),
+        ),
+    ];
+    // Default parameters and a tight-anchor variant: the latter forces
+    // anchors on far more trails, exercising the splice heavily.
+    let schemas = [
+        BalancedOrientationSchema::default(),
+        BalancedOrientationSchema::new(4, 3),
+    ];
+    for (fi, (tag, g)) in families.into_iter().enumerate() {
+        let n = g.n();
+        for (si, schema) in schemas.iter().enumerate() {
+            let net = sparse_ids(g.clone(), 1000 + fi as u64);
+            let mut session = BalancedChurnSession::new(net, *schema).expect("initial build");
+            assert_matches_scratch(&format!("{tag}/s{si}/init"), &session);
+            for (b, batch) in script_for(n, 0xC0DE * (fi as u64 + 1) + si as u64, 5, 4)
+                .into_iter()
+                .enumerate()
+            {
+                let report = session.apply(&batch).expect("repair");
+                assert_eq!(
+                    report.applied + report.skipped,
+                    batch.len(),
+                    "{tag}/s{si}/batch{b}: edits unaccounted for"
+                );
+                assert_matches_scratch(&format!("{tag}/s{si}/batch{b}"), &session);
+            }
+        }
+    }
+}
+
+#[test]
+fn repair_is_local_on_disjoint_components() {
+    // Churn confined to one component must never re-decode the other:
+    // affected trails are walked, not ball-grown, so the second cycle's
+    // 60 nodes stay untouched.
+    let g = generators::disjoint_union(&[generators::cycle(40), generators::cycle(60)]);
+    let net = sparse_ids(g, 99);
+    let mut session = BalancedChurnSession::new(net, BalancedOrientationSchema::new(4, 3)).unwrap();
+    let report = session
+        .apply(&[Edit::Remove(NodeId(5), NodeId(6))])
+        .unwrap();
+    assert!(
+        report.redecoded <= 40,
+        "repair leaked into the untouched component: {report:?}"
+    );
+    assert_matches_scratch("disjoint-local", &session);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn balanced_churn_matches_scratch_on_random_scripts(
+        family in 0usize..4,
+        n in 12usize..60,
+        seed in 0u64..1_000,
+        raw in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 1..6),
+            1..4,
+        ),
+    ) {
+        let g = match family {
+            0 => generators::cycle(n.max(3)),
+            1 => generators::path(n.max(2)),
+            2 => generators::random_bounded_degree(n, 5, 2 * n, seed),
+            _ => {
+                let w = (n as f64).sqrt().ceil() as usize;
+                generators::grid2d(w.max(2), w.max(2), seed.is_multiple_of(2))
+            }
+        };
+        let nn = g.n();
+        let net = sparse_ids(g, seed);
+        let mut session =
+            BalancedChurnSession::new(net, BalancedOrientationSchema::new(4, 3)).unwrap();
+        for batch_raw in raw {
+            let batch: Vec<Edit> = batch_raw
+                .into_iter()
+                .filter_map(|(u, v, insert)| {
+                    let (u, v) = (u as usize % nn, v as usize % nn);
+                    if u == v {
+                        return None;
+                    }
+                    let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+                    Some(if insert { Edit::Insert(u, v) } else { Edit::Remove(u, v) })
+                })
+                .collect();
+            session.apply(&batch).expect("repair");
+            assert_matches_scratch("proptest", &session);
+        }
+    }
+}

@@ -5,11 +5,15 @@
 //!
 //! Two independent oracles are used:
 //!
-//! 1. **Frozen seed encoders** — the pre-parallelization algorithms for
-//!    the balanced-orientation and cluster-coloring schemas, reimplemented
-//!    here verbatim against the public API (sequential trail loop;
-//!    full-graph Voronoi over all centers). Any algorithmic drift in the
-//!    shipped encoders — trail merge order, the bounded-BFS cluster
+//! 1. **Sequential reference encoders** — the cluster-coloring seed
+//!    algorithm reimplemented verbatim against the public API (full-graph
+//!    Voronoi over all centers), and a sequential balanced-orientation
+//!    reference that mirrors the canonical trail-record placement
+//!    introduced with churn repair (anchors are a pure function of trail
+//!    structure; see `trail_records`) through an independent
+//!    implementation — brute-force smallest-rotation search, explicit
+//!    reversal. Any algorithmic drift in the shipped encoders — trail
+//!    merge order, rotation indexing, the bounded-BFS cluster
 //!    assignment — shows up as a bit difference.
 //! 2. **Thread-count invariance** — encoding under overrides {1, 2, 5,
 //!    auto} must produce identical [`AdviceMap`]s and [`AdviceStats`];
@@ -35,8 +39,8 @@ use local_advice::core::delta_coloring::DeltaColoringSchema;
 use local_advice::core::schema::AdviceSchema;
 use local_advice::graph::orientation::{slot_edges, slot_of};
 use local_advice::graph::{
-    coloring, generators, ruling, traversal, EulerPartition, Graph, GraphBuilder, IdAssignment,
-    NodeId, Trail,
+    coloring, generators, ruling, traversal, EdgeId, EulerPartition, Graph, GraphBuilder,
+    IdAssignment, NodeId,
 };
 use local_advice::runtime::{set_thread_override, Ball, LookupTable, Network};
 
@@ -78,74 +82,97 @@ const THREAD_GRID: [Option<usize>; 4] = [Some(1), Some(2), Some(5), None];
 const SEEDS: [u64; 3] = [7, 1234, 987654321];
 
 // ---------------------------------------------------------------------------
-// Frozen seed encoders (pre-parallelization algorithms, verbatim).
+// Sequential reference encoders.
 // ---------------------------------------------------------------------------
 
-fn anchor_positions(trail: &Trail, spacing: usize) -> Vec<usize> {
-    let len = trail.len();
-    if trail.closed {
-        (0..len).step_by(spacing).collect()
-    } else {
-        (1..len).step_by(spacing).collect()
-    }
-}
-
-fn position_info(
-    trail: &Trail,
-    i: usize,
-) -> (
-    NodeId,
-    local_advice::graph::EdgeId,
-    local_advice::graph::EdgeId,
-) {
-    let len = trail.len();
-    if i == 0 {
-        assert!(trail.closed, "open trails have no slot at position 0");
-        (trail.nodes[0], trail.edges[len - 1], trail.edges[0])
-    } else {
-        (trail.nodes[i], trail.edges[i - 1], trail.edges[i])
-    }
-}
-
-fn choose_direction(trail: &Trail, uids: &[u64]) -> (bool, bool) {
-    if trail.closed {
-        let seq: Vec<u64> = trail.nodes[..trail.len()]
-            .iter()
-            .map(|v| uids[v.index()])
-            .collect();
-        match cycle_canonical_forward(&seq) {
-            Some(forward) => (forward, false),
-            None => (true, true),
-        }
-    } else {
-        let seq: Vec<u64> = trail.nodes.iter().map(|v| uids[v.index()]).collect();
-        match open_canonical_forward(&seq) {
-            Some(forward) => (forward, false),
-            None => (true, true),
-        }
-    }
-}
-
-/// The seed balanced-orientation encoder: one sequential pass over the
-/// Euler partition's trails, records pushed in trail order.
+/// Sequential balanced-orientation reference: one pass over the Euler
+/// partition's trails, each trail's anchors derived from its structure
+/// alone — the decoder's canonical direction rule, then (for closed
+/// trails) a start at the smallest rotation of the directed uid word,
+/// found here by comparing every rotation outright rather than via the
+/// production `least_rotation_index`. Drift anywhere in the shipped
+/// canonicalization — rotation indexing, tie handling, reversal, slot
+/// lookups — shows up as a bit difference.
 fn seed_balanced_encode(schema: &BalancedOrientationSchema, net: &Network) -> AdviceMap {
     let g = net.graph();
     let uids = net.uids();
+    let uid = |v: NodeId| uids[v.index()];
     let ep = EulerPartition::new(g, uids);
     let mut records: Vec<Vec<AnchorRecord>> = vec![Vec::new(); g.n()];
     for trail in ep.trails() {
-        let (forward, force_anchor) = choose_direction(trail, uids);
-        if trail.len() <= schema.short_threshold && !force_anchor {
+        let len = trail.len();
+        // Canonical direction; a tied closed trail anchors regardless of
+        // length and runs lo→hi across its smallest-uid edge.
+        let (forward, force_anchor) = if trail.closed {
+            let seq: Vec<u64> = trail.nodes[..len].iter().map(|&v| uid(v)).collect();
+            match cycle_canonical_forward(&seq) {
+                Some(f) => (f, false),
+                None => {
+                    let j = (0..len)
+                        .min_by_key(|&i| {
+                            let (x, y) = (uid(trail.nodes[i]), uid(trail.nodes[i + 1]));
+                            (x.min(y), x.max(y))
+                        })
+                        .expect("closed trails have at least one edge");
+                    (uid(trail.nodes[j]) < uid(trail.nodes[j + 1]), true)
+                }
+            }
+        } else {
+            let seq: Vec<u64> = trail.nodes.iter().map(|&v| uid(v)).collect();
+            match open_canonical_forward(&seq) {
+                Some(f) => (f, false),
+                None => (true, true),
+            }
+        };
+        if len <= schema.short_threshold && !force_anchor {
             continue;
         }
-        for i in anchor_positions(trail, schema.anchor_spacing) {
-            let (w, arrive, leave) = position_info(trail, i);
+        // Directed sequences: edge i runs dnodes[i] -> dnodes[i + 1]
+        // (cyclically for closed trails).
+        let (dnodes, dedges): (Vec<NodeId>, Vec<EdgeId>) = if trail.closed {
+            if forward {
+                (trail.nodes[..len].to_vec(), trail.edges.clone())
+            } else {
+                let mut dn = vec![trail.nodes[0]];
+                dn.extend(trail.nodes[1..len].iter().rev());
+                (dn, trail.edges.iter().rev().copied().collect())
+            }
+        } else if forward {
+            (trail.nodes.clone(), trail.edges.clone())
+        } else {
+            (
+                trail.nodes.iter().rev().copied().collect(),
+                trail.edges.iter().rev().copied().collect(),
+            )
+        };
+        let positions: Vec<usize> = if trail.closed {
+            let word: Vec<u64> = dnodes.iter().map(|&v| uid(v)).collect();
+            let mut r0 = 0;
+            for r in 1..len {
+                for j in 0..len {
+                    let (a, b) = (word[(r + j) % len], word[(r0 + j) % len]);
+                    if a != b {
+                        if a < b {
+                            r0 = r;
+                        }
+                        break;
+                    }
+                }
+            }
+            (0..len.div_ceil(schema.anchor_spacing))
+                .map(|j| (r0 + j * schema.anchor_spacing) % len)
+                .collect()
+        } else {
+            (1..len).step_by(schema.anchor_spacing).collect()
+        };
+        for p in positions {
+            let w = dnodes[p];
+            let arrive = dedges[(p + len - 1) % len];
             let slot = slot_of(g, uids, w, arrive).expect("consecutive trail edges share a slot");
             let (first, _second) = slot_edges(g, uids, w, slot);
-            let enters_via = if forward { arrive } else { leave };
             records[w.index()].push(AnchorRecord {
                 slot,
-                enters_first: enters_via == first,
+                enters_first: arrive == first,
             });
         }
     }

@@ -6,13 +6,17 @@
 
 use local_advice::core::balanced::BalancedOrientationSchema;
 use local_advice::core::bits::BitString;
+use local_advice::core::checked::{CheckedSchema, RobustDecodeError};
 use local_advice::core::cluster_coloring::ClusterColoringSchema;
 use local_advice::core::decompress::EdgeSubsetCodec;
+use local_advice::core::proofs::orientation_labeling;
 use local_advice::core::schema::AdviceSchema;
 use local_advice::core::splitting::{is_valid_splitting, SplittingSchema};
 use local_advice::core::three_coloring::ThreeColoringSchema;
 use local_advice::core::AdviceMap;
+use local_advice::graph::mutate::{Edit, MutableGraph};
 use local_advice::graph::{coloring, generators, NodeId};
+use local_advice::lcl::problems::AlmostBalancedOrientation;
 use local_advice::runtime::Network;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -144,6 +148,157 @@ fn splitting_tamper() {
         is_valid_splitting(net.graph(), labels)
     });
     assert_eq!(errors + valid, 30);
+}
+
+// ---------------------------------------------------------------------------
+// Stale advice under churn: advice encoded for one graph, decoded against a
+// mutated one. The churn session (`core::churn`) repairs advice in lockstep
+// with edits; these tests pin what happens when that repair is *skipped* —
+// the checked decoder must reject the stale map, never silently release an
+// unverified orientation.
+// ---------------------------------------------------------------------------
+
+/// Runs `decode_checked` with stale advice against a mutated network and
+/// classifies the outcome. Returns `true` when the decode was rejected
+/// outright; panics on a silently invalid acceptance or an unexpected
+/// error shape.
+fn stale_decode_is_rejected(
+    schema: &BalancedOrientationSchema,
+    net: &Network,
+    stale: &AdviceMap,
+    tag: &str,
+) -> bool {
+    let lcl = AlmostBalancedOrientation;
+    let checked = CheckedSchema::new(schema, &lcl, orientation_labeling);
+    match checked.decode_checked(net, stale) {
+        Err(RobustDecodeError::Decode(_) | RobustDecodeError::Rejected { .. }) => true,
+        Err(other) => panic!("{tag}: unexpected error shape: {other:?}"),
+        Ok((o, _)) => {
+            // Sound by construction — the checker verified it — but it must
+            // really be valid, or the checker layer is broken.
+            assert!(
+                o.is_almost_balanced(net.graph()),
+                "{tag}: checker released an invalid orientation"
+            );
+            false
+        }
+    }
+}
+
+#[test]
+fn advice_stranded_on_deleted_edges_is_rejected() {
+    // Degree-4 torus: deleting any edge drops its endpoints to degree 3,
+    // which re-pairs their slots and shrinks the record width their stale
+    // strings were encoded at. Any walk consulting such a holder hits a
+    // typed malformed-advice error. (The handful of deletions whose
+    // walks never consult a stale holder decode to the *restriction* of
+    // the original orientation, which is genuinely still almost balanced
+    // — acceptance there is sound, not a miss.)
+    let g = generators::grid2d(6, 6, true);
+    let net = Network::with_identity_ids(g.clone());
+    let schema = BalancedOrientationSchema::new(4, 3);
+    let advice = schema.encode(&net).unwrap();
+    let mut rejected = 0;
+    let edges: Vec<_> = g.edges().map(|(_, e)| e).collect();
+    let m = edges.len();
+    for (u, v) in edges {
+        let mut mg = MutableGraph::new(g.clone());
+        mg.apply(&[Edit::Remove(u, v)]);
+        let net_b = Network::with_identity_ids(mg.graph().clone());
+        if stale_decode_is_rejected(&schema, &net_b, &advice, "deleted-edge") {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > m / 2,
+        "only {rejected}/{m} deletions were caught: stale records on re-paired \
+         slots must not decode cleanly"
+    );
+}
+
+#[test]
+fn advice_stale_after_insertion_leaves_new_edges_unclaimed() {
+    // Inserting a chord without repairing advice either leaves the new
+    // edge outside every walk (aggregation then fails typed: an almost
+    // balanced orientation must orient *every* edge), or re-pairs the
+    // endpoints' slots so stale walks reroute across the chord — which
+    // must still end in a typed rejection or a checker-verified output,
+    // never a silently invalid one.
+    let g = generators::cycle(40);
+    let net = Network::with_identity_ids(g.clone());
+    let schema = BalancedOrientationSchema::new(4, 3);
+    let advice = schema.encode(&net).unwrap();
+    let mut rejected = 0;
+    for i in 0..8usize {
+        let (u, v) = (NodeId((i * 5) as u32), NodeId(((i * 5 + 13) % 40) as u32));
+        let mut mg = MutableGraph::new(g.clone());
+        mg.apply(&[Edit::Insert(u, v)]);
+        let net_b = Network::with_identity_ids(mg.graph().clone());
+        if stale_decode_is_rejected(&schema, &net_b, &advice, "inserted-chord") {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > 0,
+        "no chord insertion was caught — an unclaimed chord must fail aggregation"
+    );
+}
+
+#[test]
+fn advice_held_by_stale_holders_is_rejected() {
+    // Simulates holders going stale without any graph change: every string
+    // sits one node away from where the encoder put it (as if a repair
+    // relocated anchors but the old map was served). Degrees are uniform,
+    // so each string still *parses* — rejection has to come from the walk
+    // semantics (conflicting or missing claims) or the checker, not from a
+    // length mismatch.
+    let g = generators::cycle(48);
+    let net = Network::with_identity_ids(g);
+    let schema = BalancedOrientationSchema::new(4, 3);
+    let advice = schema.encode(&net).unwrap();
+    let n = advice.n();
+    let mut shifted = AdviceMap::empty(n);
+    for i in 0..n {
+        let from = NodeId::from_index(i);
+        let to = NodeId::from_index((i + 1) % n);
+        let s = advice.get(from).clone();
+        if !s.is_empty() {
+            shifted.set(to, s);
+        }
+    }
+    assert!(
+        stale_decode_is_rejected(&schema, &net, &shifted, "shifted-holders"),
+        "advice shifted to stale holders decoded cleanly"
+    );
+}
+
+#[test]
+fn repaired_advice_after_churn_passes_decode_checked() {
+    // The positive control: the same mutations with the repair actually
+    // applied (via the churn session) must sail through `decode_checked`.
+    // Rejection above is meaningful only if repair restores acceptance.
+    use local_advice::core::churn::BalancedChurnSession;
+    let g = generators::cycle(36);
+    let net = Network::with_identity_ids(g);
+    let schema = BalancedOrientationSchema::new(4, 3);
+    let mut session = BalancedChurnSession::new(net, schema).unwrap();
+    session
+        .apply(&[
+            Edit::Remove(NodeId(5), NodeId(6)),
+            Edit::Insert(NodeId(2), NodeId(20)),
+        ])
+        .unwrap();
+    let net_b = Network::new(
+        session.graph().clone(),
+        session.network().ids().clone(),
+        vec![(); session.graph().n()],
+    );
+    let lcl = AlmostBalancedOrientation;
+    let checked = CheckedSchema::new(&schema, &lcl, orientation_labeling);
+    let (o, _) = checked
+        .decode_checked(&net_b, session.advice())
+        .expect("repaired advice must decode and verify");
+    assert_eq!(&o, session.orientation());
 }
 
 #[test]

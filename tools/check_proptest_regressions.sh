@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Hygiene check for committed proptest regression files.
+#
+# A `foo.proptest-regressions` file is the persisted-failure sidecar of a
+# `foo.rs` test file. Entries go stale silently: when a proptest is
+# renamed, removed, or its binders change, the saved shrink no longer
+# replays against anything, but nothing ever deletes the line. This
+# script fails when:
+#
+#   * a regression file has no companion `foo.rs` test file,
+#   * the companion has no `proptest!` block at all,
+#   * a `cc` entry's shrink comment names a binder (`name = value`) that
+#     no proptest in the companion still binds (`name in strategy`),
+#   * a regression file contains no `cc` entries (prune the file instead
+#     of leaving an empty husk).
+#
+# Value-level staleness (a shrink outside the current strategy's range)
+# still needs a human audit; this catches the structural cases.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+status=0
+
+shopt -s nullglob globstar
+files=(**/*.proptest-regressions)
+# Ignore build output.
+checked=0
+for reg in "${files[@]}"; do
+    case "$reg" in target/*) continue ;; esac
+    checked=$((checked + 1))
+    rs="${reg%.proptest-regressions}.rs"
+    if [[ ! -f "$rs" ]]; then
+        echo "STALE: $reg has no companion test file $rs" >&2
+        status=1
+        continue
+    fi
+    if ! grep -q 'proptest!' "$rs"; then
+        echo "STALE: $rs contains no proptest! block but $reg persists failures" >&2
+        status=1
+        continue
+    fi
+    entries=0
+    while IFS= read -r line; do
+        entries=$((entries + 1))
+        # "cc <hash> # shrinks to a = ..., b = ..." — top-level binders
+        # use ` = `, nested struct fields use `: `, so this extracts the
+        # binder names only.
+        shrink="${line#*# shrinks to }"
+        if [[ "$shrink" == "$line" ]]; then
+            continue # no shrink comment to audit
+        fi
+        for name in $(grep -oE '(^|, )[A-Za-z_][A-Za-z0-9_]* = ' <<<"$shrink" \
+            | sed -e 's/^, //' -e 's/ = $//'); do
+            if ! grep -qE "(^|[[:space:](,])${name} in " "$rs"; then
+                echo "STALE: $reg entry binds '$name' but no proptest in $rs does:" >&2
+                echo "    $line" >&2
+                status=1
+            fi
+        done
+    done < <(grep '^cc ' "$reg" || true)
+    if [[ "$entries" -eq 0 ]]; then
+        echo "STALE: $reg has no cc entries; delete the file" >&2
+        status=1
+    fi
+done
+
+echo "checked $checked regression file(s)"
+exit "$status"
