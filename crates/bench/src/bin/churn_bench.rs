@@ -41,6 +41,7 @@ use lad_graph::mutate::{Edit, MutableGraph};
 use lad_graph::{generators, Graph, IdAssignment, NodeId};
 use lad_runtime::{
     run_local, Ball, ChurnLocal, ChurnMemoLocal, MemoStep, Network, NodeCtx, NotOrderInvariant,
+    PlannedChurnLocal,
 };
 use std::time::Instant;
 
@@ -269,6 +270,80 @@ fn bench_memo_repair(
     )
 }
 
+/// Same drive loop with the adaptive planner choosing the session family
+/// (plain cache vs persistent class memo) from its instance probe at open
+/// time — the production entry for churn under planner control.
+fn bench_planned_repair(
+    family: &str,
+    g: Graph,
+    batch_edits: usize,
+    batches: usize,
+    queries: usize,
+) -> Row {
+    let n = g.n();
+    let inputs: Vec<u32> = (0..n).map(|i| (i % 13) as u32).collect();
+    let ids = IdAssignment::random_permutation(n, 0xBEEF);
+    let net = Network::with_ids(g.clone(), ids.clone()).with_inputs(inputs.clone());
+    let tag = |input: &u32, words: &mut Vec<u64>| words.push(*input as u64);
+    let step = |ball: &Ball<u32>| -> Result<MemoStep<(usize, usize, u64, u64)>, NotOrderInvariant> {
+        Ok(MemoStep::Done(oi_digest(ball)))
+    };
+    let algo = |ctx: &NodeCtx<u32>| oi_digest(&ctx.ball(DIGEST_RADIUS));
+    let (mut session, plan) = PlannedChurnLocal::open::<NotOrderInvariant>(
+        net,
+        DIGEST_RADIUS,
+        DIGEST_RADIUS,
+        "view-digest",
+        algo,
+        tag,
+        step,
+    )
+    .expect("planned session build");
+    eprintln!(
+        "planned_repair {family}: planner chose {:?} (predicted hit {:.3}, probe {:.4}s)",
+        plan.path,
+        plan.predicted_hit_rate,
+        plan.probe_ns as f64 / 1e9,
+    );
+    let reference = |ctx: &NodeCtx<u32>| oi_digest(&ctx.ball(DIGEST_RADIUS));
+    let mut mirror = MutableGraph::new(g.clone());
+    let mut seed = 0x5EED_0004u64;
+    let mut s = Samples::new();
+    let mut sink = 0u64;
+    for _ in 0..batches {
+        let batch = batch_for(n, &mut seed, batch_edits);
+        let t0 = Instant::now();
+        let report = session
+            .apply::<NotOrderInvariant>(&batch)
+            .expect("planned repair");
+        s.repair_s.push(t0.elapsed().as_secs_f64());
+        s.repaired.push(report.repaired);
+        let outs = session.outputs();
+        let t0 = Instant::now();
+        for q in 0..queries {
+            let v = (xorshift(&mut seed).wrapping_add(q as u64) % n as u64) as usize;
+            sink = sink.wrapping_add(outs[v].2);
+        }
+        s.query_s += t0.elapsed().as_secs_f64();
+        s.queries += queries;
+        mirror.apply(&batch);
+        mirror.clear_dirty();
+        let scratch_net =
+            Network::with_ids(mirror.graph().clone(), ids.clone()).with_inputs(inputs.clone());
+        let t0 = Instant::now();
+        let (expected, _) = run_local(&scratch_net, reference);
+        s.scratch_s.push(t0.elapsed().as_secs_f64());
+        s.verified &= outs == expected;
+    }
+    std::hint::black_box(sink);
+    s.into_row(
+        "planned_repair",
+        family,
+        session.network().graph(),
+        batch_edits,
+    )
+}
+
 /// Encoder-side advice repair: the balanced churn session against a
 /// from-scratch `encode + decode` per batch.
 fn bench_advice_repair(family: &str, g: Graph, batch_edits: usize, batches: usize) -> Row {
@@ -324,6 +399,13 @@ fn main() {
                 queries,
             ));
             rows.push(bench_memo_repair(
+                "torus",
+                g.clone(),
+                batch_edits.max(4),
+                batches,
+                queries,
+            ));
+            rows.push(bench_planned_repair(
                 "torus",
                 g.clone(),
                 batch_edits.max(4),

@@ -128,13 +128,18 @@ fn measure<S: AdviceSchema>(
     let eval_s = memo.eval_ns as f64 / 1e9;
     let hit_rate = memo.hit_rate();
     let fp_reject_rate = memo.fp_reject_rate();
+    // The planner's call is part of the decode it planned: report which
+    // path it chose and what the instance probe cost.
+    let plan = if memo.plans_memo > 0 { "memo" } else { "plain" };
+    let probe_s = memo.probe_ns as f64 / 1e9;
     let total_s = encode_s + decode_s;
     let a = advice.stats();
     let rounds = stats.rounds();
     let nodes_per_s = n as f64 / total_s;
     eprintln!(
         "{label:>16} {family:>6} n={n:<7} encode {encode_s:.4}s  decode {decode_s:.4}s  \
-         (gather {gather_s:.4}s = sweep {sweep_s:.4}s + key {key_s:.4}s, eval {eval_s:.4}s, \
+         (plan {plan}, probe {probe_s:.4}s, gather {gather_s:.4}s = sweep {sweep_s:.4}s + \
+         key {key_s:.4}s, eval {eval_s:.4}s, \
          hit {hit_rate:.3}, fp-reject {fp_reject_rate:.3})  \
          {nodes_per_s:>10.0} nodes/s  {} bits on {} holders  T={rounds}  verified={verified}",
         a.total_bits, a.holders,
@@ -143,6 +148,7 @@ fn measure<S: AdviceSchema>(
         json: format!(
             "    {{\"schema\": \"{label}\", \"family\": \"{family}\", \"n\": {n}, \
              \"reps\": {reps}, \"encode_s\": {encode_s:.6}, \"decode_s\": {decode_s:.6}, \
+             \"plan\": \"{plan}\", \"probe_s\": {probe_s:.6}, \
              \"gather_s\": {gather_s:.6}, \"sweep_s\": {sweep_s:.6}, \"key_s\": {key_s:.6}, \
              \"eval_s\": {eval_s:.6}, \
              \"hit_rate\": {hit_rate:.4}, \"fp_reject_rate\": {fp_reject_rate:.4}, \
@@ -155,12 +161,97 @@ fn measure<S: AdviceSchema>(
     }
 }
 
+/// Re-measures the planner's per-schema cost priors and rewrites
+/// `PLAN_calibration.json` (compiled into `lad_runtime::plan` on the next
+/// build). Each schema decodes a class-diverse torus twice per rep:
+/// plain-forced for `t_plain` (wall clock / n), memo-forced for `t_memo`
+/// (attributed evaluation time / misses — one class-representative
+/// reconstruction per miss) and `t_key` (attributed sweep + keying time /
+/// n, i.e. the tiled gather's amortized per-ball overhead).
+fn calibrate(out_path: &str) {
+    let n = 10_000usize;
+    let side = (n as f64).sqrt().round() as usize;
+    let g = generators::grid2d(side + side % 2, side + side % 2, true);
+    let net = Network::with_identity_ids(g);
+    let mut priors: Vec<(String, f64, f64, f64)> = Vec::new();
+    let mut measure = |label: &str, run: &dyn Fn()| {
+        const REPS: usize = 2;
+        lad_runtime::set_force_path(Some(lad_runtime::ExecPath::Plain));
+        let plain_ns = (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                run();
+                t.elapsed().as_nanos() as f64 / n as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        lad_runtime::set_force_path(Some(lad_runtime::ExecPath::Memo));
+        let (mut memo_eval_ns, mut key_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..REPS {
+            memo_stats_reset();
+            run();
+            let memo = memo_stats();
+            let evals = memo.lookups.saturating_sub(memo.hits).max(1);
+            memo_eval_ns = memo_eval_ns.min(memo.eval_ns as f64 / evals as f64);
+            key_ns = key_ns.min((memo.sweep_ns + memo.key_ns) as f64 / n as f64);
+        }
+        lad_runtime::set_force_path(None);
+        eprintln!(
+            "{label:>20}: eval_memo {memo_eval_ns:>9.0} ns/miss  \
+             eval_plain {plain_ns:>8.0} ns/ball  key {key_ns:>8.0} ns/ball"
+        );
+        priors.push((label.to_string(), memo_eval_ns, plain_ns, key_ns));
+    };
+    let balanced = BalancedOrientationSchema::default();
+    let advice = balanced.encode(&net).expect("balanced encode");
+    measure("balanced-orientation", &|| {
+        balanced.decode(&net, &advice).expect("balanced decode");
+    });
+    let cluster = ClusterColoringSchema::default();
+    let advice = cluster.encode(&net).expect("cluster encode");
+    measure("cluster-coloring", &|| {
+        cluster.decode(&net, &advice).expect("cluster decode");
+    });
+    let delta = DeltaColoringSchema::default();
+    let advice = delta.encode(&net).expect("delta encode");
+    measure("delta-coloring", &|| {
+        delta.decode(&net, &advice).expect("delta decode");
+    });
+    let mut json = String::new();
+    writeln!(
+        json,
+        "{{\"version\": 2, \"memo_margin\": 1.2, \"bypass_hit_rate\": 0.05, \
+         \"eval_sample_cap\": 16, \"key_sample_floor\": 16, \"key_sample_ceil\": 1024,"
+    )
+    .unwrap();
+    writeln!(json, "\"schemas\": [").unwrap();
+    let rows: Vec<String> = priors
+        .iter()
+        .map(|(name, eval_memo, eval_plain, key)| {
+            format!(
+                "{{\"schema\": \"{name}\", \"eval_memo_ns_per_ball\": {eval_memo:.1}, \
+                 \"eval_plain_ns_per_ball\": {eval_plain:.1}, \"key_ns_per_ball\": {key:.1}}}"
+            )
+        })
+        .collect();
+    writeln!(json, "{}", rows.join(",\n")).unwrap();
+    writeln!(json, "]}}").unwrap();
+    std::fs::write(out_path, json).expect("write calibration");
+    eprintln!("wrote {out_path} (rebuild to compile the new priors in)");
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_pipeline.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--calibrate" {
+            let cal_path = args
+                .next()
+                .unwrap_or_else(|| "PLAN_calibration.json".to_string());
+            calibrate(&cal_path);
+            return;
         } else {
             out_path = arg;
         }
@@ -172,7 +263,18 @@ fn main() {
     };
     let mut cells: Vec<Cell> = Vec::new();
     for &n in sizes {
-        let reps = if smoke || n >= 100_000 { 1 } else { 3 };
+        // Millisecond-scale rows need more reps for a stable minimum;
+        // even the second-scale rows get two so one scheduling hiccup
+        // can't distort the snapshot.
+        let reps = if smoke {
+            1
+        } else if n >= 100_000 {
+            2
+        } else if n <= 1_024 {
+            9
+        } else {
+            3
+        };
         for (family, g) in families(n) {
             let delta = g.max_degree();
             let net = Network::with_identity_ids(g);

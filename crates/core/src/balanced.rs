@@ -398,7 +398,7 @@ fn tie_direction_closed(trail: &Trail, uids: &[u64]) -> bool {
 /// regardless of length — falls back to the token-edge direction). Open
 /// trails then have a well-defined start (the canonical-direction first
 /// endpoint); closed trails are rotated to the lexicographically least
-/// rotation of the directed uid word ([`least_rotation_index`]), which is
+/// rotation of the directed uid word (`least_rotation_index`), which is
 /// unique because a directed trail word is aperiodic — a period `p < len`
 /// would make positions `0` and `p` traverse the same uid pair, i.e. the
 /// same edge twice, contradicting edge-disjointness. Anchors go every
@@ -513,14 +513,19 @@ impl AdviceSchema for BalancedOrientationSchema {
                 records[w.index()].push(rec);
             }
         }
-        let mut advice = AdviceMap::empty(g.n());
-        for v in g.nodes() {
-            if !records[v.index()].is_empty() {
-                let bits = encode_records(&mut records[v.index()], g.degree(v));
-                advice.set(v, bits);
-            }
-        }
-        Ok(advice)
+        // Packed once via `from_strings` (per-node `set` calls would shift
+        // the arena tail, quadratic in the holder count).
+        let strings: Vec<BitString> = g
+            .nodes()
+            .map(|v| {
+                if records[v.index()].is_empty() {
+                    BitString::new()
+                } else {
+                    encode_records(&mut records[v.index()], g.degree(v))
+                }
+            })
+            .collect();
+        Ok(AdviceMap::from_strings(strings))
     }
 
     fn decode(
@@ -535,7 +540,20 @@ impl AdviceSchema for BalancedOrientationSchema {
         }
         let advised = net.with_inputs(advice.strings().to_vec());
         let radius = self.decode_radius();
-        let (claims, stats) = if self.decoder_order_invariant() {
+        // Sound either way (both paths are pinned to the reference); the
+        // planner probes the instance's class structure to pick the
+        // faster one.
+        let use_memo = self.decoder_order_invariant() && {
+            let plan = lad_runtime::plan_decode(
+                &advised,
+                radius,
+                |bits: &BitString, words: &mut Vec<u64>| bits.push_key_words(words),
+                &self.name(),
+                None,
+            );
+            plan.path == lad_runtime::ExecPath::Memo
+        };
+        let (claims, stats) = if use_memo {
             // Memoized path: cache the slot-indexed decisions once per
             // canonical class, then re-bind slots to concrete edges per
             // node on the real graph (uid claims themselves are *not*
@@ -719,7 +737,7 @@ fn walk(
 /// it per class and re-binds slots to concrete edges per node on the real
 /// graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct SlotDirections {
+pub(crate) struct SlotDirections {
     /// For each paired slot `s`: is the trail "forward at this slot"
     /// (entering via the first edge of the slot, exiting via the second)?
     forward: Vec<bool>,
@@ -732,7 +750,7 @@ struct SlotDirections {
 /// of the decoder: identifiers are consumed exclusively through order
 /// comparisons (slot sorting, pairing, canonical direction rules), so the
 /// result is a function of the canonical advice-labeled view.
-fn slot_directions(
+pub(crate) fn slot_directions(
     ball: &lad_runtime::Ball<BitString>,
     budget: usize,
 ) -> Result<SlotDirections, DecodeError> {
@@ -778,7 +796,12 @@ fn decode_at_node(
 /// `g`: `(edge, oriented out of `c`?)` pairs. Works identically on a ball
 /// graph and on the real network graph, because the slot structure is
 /// derived from neighbor-UID order, which both agree on.
-fn bind_slots(g: &Graph, uids: &[u64], c: NodeId, dirs: &SlotDirections) -> Vec<(EdgeId, bool)> {
+pub(crate) fn bind_slots(
+    g: &Graph,
+    uids: &[u64],
+    c: NodeId,
+    dirs: &SlotDirections,
+) -> Vec<(EdgeId, bool)> {
     let mut out = Vec::with_capacity(g.degree(c));
     for (s, &fwd) in dirs.forward.iter().enumerate() {
         let (p, q) = slot_edges(g, uids, c, s);

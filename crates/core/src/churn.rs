@@ -4,7 +4,7 @@
 //! A [`BalancedChurnSession`] holds a graph, the schema's advice, and the
 //! decoded orientation, and repairs all three **locally** when edges are
 //! inserted or removed — producing state bit-identical to throwing
-//! everything away and re-running [`AdviceSchema::encode`] /
+//! everything away and re-running [`AdviceSchema::encode`](crate::schema::AdviceSchema::encode) /
 //! [`BalancedOrientationSchema::decode_view`] on the mutated graph (the
 //! churn differential harness in `tests/churn_pipeline.rs` pins this).
 //!

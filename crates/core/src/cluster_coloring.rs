@@ -195,13 +195,15 @@ impl AdviceSchema for ClusterColoringSchema {
             )));
         }
         let width = self.color_width();
-        let mut advice = AdviceMap::empty(g.n());
+        // Packed once via `from_strings` (per-center `set` calls would
+        // shift the arena tail, quadratic in the center count).
+        let mut strings = vec![BitString::new(); g.n()];
         for (i, &c) in centers.iter().enumerate() {
             let mut bits = BitString::new();
             bits.push_uint(cluster_colors[i] as u64, width);
-            advice.set(c, bits);
+            strings[c.index()] = bits;
         }
-        Ok(advice)
+        Ok(AdviceMap::from_strings(strings))
     }
 
     fn decode(
@@ -220,10 +222,23 @@ impl AdviceSchema for ClusterColoringSchema {
         let width = self.color_width();
         let max_colors = self.max_cluster_colors;
         let max_radius = self.max_radius();
-        let (colors, stats) = if self.decoder_order_invariant() {
-            // Memoized path: `simulate_greedy` is a pure, order-invariant
-            // function of the advice-labeled ball, so its ladder is run
-            // once per canonical class and shared across every node in it.
+        // `simulate_greedy` is a pure, order-invariant function of the
+        // advice-labeled ball, so the memo is *sound* here; whether it is
+        // *fast* depends on the instance's class structure, which the
+        // planner probes before committing either way.
+        let use_memo = self.decoder_order_invariant() && {
+            let plan = lad_runtime::plan_decode(
+                &advised,
+                2 * spacing + 2,
+                |bits: &BitString, words: &mut Vec<u64>| bits.push_key_words(words),
+                &self.name(),
+                None,
+            );
+            plan.path == lad_runtime::ExecPath::Memo
+        };
+        let (colors, stats) = if use_memo {
+            // Memoized path: the ladder runs once per canonical class and
+            // is shared across every node in it.
             run_local_memo_fallible_par(
                 &advised,
                 2 * spacing + 2,

@@ -114,6 +114,17 @@ impl DeltaColoringSchema {
         stuck: &[NodeId],
     ) -> ComponentOutcome {
         let lcl = ProperColoring::new(delta);
+        // Exact-region probe memo: `complete` is a deterministic function
+        // of the index-labeled region (`ProperColoring` never reads uids),
+        // so stuck nodes whose induced regions serialize identically —
+        // same local edges, boundary pins, and clipped degrees — share one
+        // search outcome, including `NoSolution` ladder rungs. The key is
+        // the exact local structure rather than a canonical class because
+        // the lexicographically-first completion is index-order-sensitive:
+        // class-sharing across differently-ordered regions would return a
+        // differently-labeled completion and break encoder bit-identity.
+        let mut probe_memo: std::collections::HashMap<Vec<u64>, Result<Vec<usize>, CompleteError>> =
+            std::collections::HashMap::new();
         for &u in stuck {
             if chi[u.index()] < delta {
                 continue; // fixed by an earlier region
@@ -148,20 +159,40 @@ impl DeltaColoringSchema {
                         check_nodes.push(lv);
                     }
                 }
-                match complete(
-                    Region {
-                        graph: sg,
-                        uids: &sub_uids,
-                        true_degree: &true_degree,
-                        node_inputs: &[],
-                    },
-                    &lcl,
-                    &pins,
-                    &vec![None; sg.m()],
-                    &check_nodes,
-                    self.repair_cap,
-                ) {
-                    Ok((labels, _)) => {
+                let mut key: Vec<u64> = Vec::with_capacity(1 + 2 * sg.m() + 2 * sg.n());
+                key.push(sg.n() as u64);
+                for e in sg.edge_ids() {
+                    let (a, b) = sg.endpoints(e);
+                    key.push(a.index() as u64);
+                    key.push(b.index() as u64);
+                }
+                for lv in sg.nodes() {
+                    key.push(true_degree[lv.index()] as u64);
+                    key.push(pins[lv.index()].map_or(0, |c| c as u64 + 1));
+                }
+                let outcome = match probe_memo.get(&key) {
+                    Some(cached) => cached.clone(),
+                    None => {
+                        let fresh = complete(
+                            Region {
+                                graph: sg,
+                                uids: &sub_uids,
+                                true_degree: &true_degree,
+                                node_inputs: &[],
+                            },
+                            &lcl,
+                            &pins,
+                            &vec![None; sg.m()],
+                            &check_nodes,
+                            self.repair_cap,
+                        )
+                        .map(|(labels, _)| labels);
+                        probe_memo.insert(key, fresh.clone());
+                        fresh
+                    }
+                };
+                match outcome {
+                    Ok(labels) => {
                         for lv in sg.nodes() {
                             chi[sub.to_original(lv).index()] = labels[lv.index()];
                         }
@@ -309,14 +340,20 @@ impl AdviceSchema for DeltaColoringSchema {
         // Stage 3: centralized repair and difference encoding.
         let chi_star = self.repair_to_delta(g, uids, delta, &chi2)?;
         let width = bit_width(delta);
-        let mut overrides = AdviceMap::empty(g.n());
-        for v in g.nodes() {
-            if chi_star[v.index()] != chi2[v.index()] {
-                let mut bits = BitString::new();
-                bits.push_uint(chi_star[v.index()] as u64, width);
-                overrides.set(v, bits);
-            }
-        }
+        // Packed once via `from_strings`: per-node `set` calls would shift
+        // the arena tail on every insertion (quadratic when the global
+        // fallback rewrites a constant fraction of the coloring).
+        let overrides = AdviceMap::from_strings(
+            g.nodes()
+                .map(|v| {
+                    let mut bits = BitString::new();
+                    if chi_star[v.index()] != chi2[v.index()] {
+                        bits.push_uint(chi_star[v.index()] as u64, width);
+                    }
+                    bits
+                })
+                .collect(),
+        );
         Ok(multiplex(&[&cluster_advice, &overrides]))
     }
 
@@ -335,10 +372,11 @@ impl AdviceSchema for DeltaColoringSchema {
         })?;
         let (chi1, stats1) = self.cluster.decode(net, &tracks[0])?;
         // Step 2 costs one round (each node reads its neighbors' χ₁).
+        // Every node requests exactly radius 1 unconditionally, so the
+        // stats are a constant — materializing n balls just to record
+        // them would dominate the decode at scale.
         let chi2 = Self::local_fix(g, delta, &chi1);
-        let (_, one_round) = run_local_par(net, |ctx| {
-            ctx.ball(1);
-        });
+        let one_round = RoundStats::from_per_node(vec![1; g.n()]);
         // Step 3 overrides cost zero rounds (each node reads its own bits).
         let width = bit_width(delta);
         let mut colors = chi2;

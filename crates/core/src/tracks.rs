@@ -43,21 +43,25 @@ pub fn multiplex(maps: &[&AdviceMap]) -> AdviceMap {
     assert!(!maps.is_empty(), "need at least one track");
     let n = maps[0].n();
     assert!(maps.iter().all(|m| m.n() == n), "node counts must match");
-    let mut out = AdviceMap::empty(n);
-    for i in 0..n {
-        let v = NodeId::from_index(i);
-        if maps.iter().all(|m| m.get(v).is_empty()) {
-            continue;
-        }
-        let mut s = BitString::new();
-        for m in maps {
-            let t = m.get(v);
-            s.push_gamma(t.len() as u64);
-            s.extend(&t);
-        }
-        out.set(v, s);
-    }
-    out
+    // Strings are assembled per node and packed once via `from_strings`:
+    // repeated `set` calls on a growing arena would shift `starts` tails
+    // and make multiplexing quadratic in n.
+    let strings: Vec<BitString> = (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            if maps.iter().all(|m| !m.is_holder(v)) {
+                return BitString::new();
+            }
+            let mut s = BitString::new();
+            for m in maps {
+                let t = m.get(v);
+                s.push_gamma(t.len() as u64);
+                s.extend(&t);
+            }
+            s
+        })
+        .collect();
+    AdviceMap::from_strings(strings)
 }
 
 /// Splits a multiplexed map back into `count` tracks.
@@ -65,7 +69,7 @@ pub fn multiplex(maps: &[&AdviceMap]) -> AdviceMap {
 /// Returns `None` if any node's string is malformed (tamper detection).
 pub fn demultiplex(map: &AdviceMap, count: usize) -> Option<Vec<AdviceMap>> {
     let n = map.n();
-    let mut tracks = vec![AdviceMap::empty(n); count];
+    let mut strings: Vec<Vec<BitString>> = vec![vec![BitString::new(); n]; count];
     for i in 0..n {
         let v = NodeId::from_index(i);
         let s = map.get(v);
@@ -73,19 +77,19 @@ pub fn demultiplex(map: &AdviceMap, count: usize) -> Option<Vec<AdviceMap>> {
             continue;
         }
         let mut r = BitReader::new(&s);
-        for track in tracks.iter_mut() {
+        for track in strings.iter_mut() {
             let len = r.read_gamma()? as usize;
             let mut t = BitString::new();
             for _ in 0..len {
                 t.push(r.read_bit()?);
             }
-            track.set(v, t);
+            track[i] = t;
         }
         if r.remaining() != 0 {
             return None;
         }
     }
-    Some(tracks)
+    Some(strings.into_iter().map(AdviceMap::from_strings).collect())
 }
 
 /// Splits *one node's* multiplexed string into `count` tracks — the form a

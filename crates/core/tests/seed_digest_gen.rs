@@ -1,0 +1,92 @@
+//! Generator for `seed_encoder_fingerprints.in` (see `encoder_memo.rs`).
+//!
+//! Deliberately restricted to APIs that exist in the seed tree so the
+//! same file runs unmodified at the frozen baseline commit: check that
+//! commit out in a scratch worktree, copy this file into its
+//! `crates/core/tests/`, and run
+//! `cargo test -p lad-core --test seed_digest_gen -- --nocapture`,
+//! then paste the printed rows into `seed_encoder_fingerprints.in`.
+//!
+//! Running it in the current tree (it executes on every `cargo test`)
+//! doubles as a smoke check that the grid and digest stay computable.
+
+use lad_core::advice::AdviceMap;
+use lad_core::balanced::BalancedOrientationSchema;
+use lad_core::bits::BitReader;
+use lad_core::cluster_coloring::ClusterColoringSchema;
+use lad_core::delta_coloring::DeltaColoringSchema;
+use lad_core::schema::AdviceSchema;
+use lad_graph::{generators, Graph, GraphBuilder, IdAssignment};
+use lad_runtime::Network;
+
+fn generator_grid() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", generators::path(17)),
+        ("cycle", generators::cycle(24)),
+        ("star", generators::star(6)),
+        ("complete", generators::complete(7)),
+        ("balanced-tree", generators::balanced_tree(2, 4)),
+        ("caterpillar", generators::caterpillar(8, 2)),
+        ("random-tree", generators::random_tree(30, 3)),
+        ("grid", generators::grid2d(6, 5, false)),
+        ("torus", generators::grid2d(5, 5, true)),
+        ("hypercube", generators::hypercube(4)),
+        ("ladder", generators::ladder(6)),
+        ("random-regular", generators::random_regular(24, 3, 5)),
+        (
+            "random-bounded-degree",
+            generators::random_bounded_degree(40, 4, 60, 9),
+        ),
+        (
+            "subexp-torus-patch",
+            generators::random_torus_patch(8, 8, 0.85, 4),
+        ),
+        (
+            "disconnected",
+            generators::disjoint_union(&[
+                generators::cycle(5),
+                generators::path(4),
+                GraphBuilder::new(2).build(),
+            ]),
+        ),
+    ]
+}
+
+fn advice_digest(a: &AdviceMap) -> u64 {
+    fn mix(h: u64, w: u64) -> u64 {
+        (h ^ w).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in a.strings() {
+        h = mix(h, s.len() as u64 + 1);
+        let mut r = BitReader::new(&s);
+        while let Some(bit) = r.read_uint(1) {
+            h = mix(h, bit + 2);
+        }
+    }
+    h
+}
+
+fn fingerprint<S: AdviceSchema>(schema: &S, net: &Network) -> String {
+    match schema.encode(net) {
+        Ok(a) => format!("ok:{:016x}", advice_digest(&a)),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+#[test]
+fn print_encoder_fingerprints() {
+    let balanced = BalancedOrientationSchema::default();
+    let cluster = ClusterColoringSchema::default();
+    let delta = DeltaColoringSchema::default();
+    for (name, g) in generator_grid() {
+        let net = Network::with_ids(g.clone(), IdAssignment::random_permutation(g.n(), 0xC0FFEE));
+        for (schema_name, fp) in [
+            ("balanced", fingerprint(&balanced, &net)),
+            ("cluster", fingerprint(&cluster, &net)),
+            ("delta", fingerprint(&delta, &net)),
+        ] {
+            println!("(\"{name}\", \"{schema_name}\", \"{fp}\"),");
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! `k`-edit batch, and **bit-identical** to what [`crate::GraphBuilder`]
 //! would produce from the same edge set (pinned by a property test).
 //! Callers that must survive renumbering key their state by stable data —
-//! `(uid, uid)` endpoint pairs — never by [`EdgeId`] or port.
+//! `(uid, uid)` endpoint pairs — never by [`EdgeId`](crate::EdgeId) or port.
 //!
 //! # What stays local: invalidation
 //!

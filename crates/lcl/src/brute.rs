@@ -8,7 +8,7 @@
 
 use crate::view::{LclView, Verdict};
 use crate::Lcl;
-use lad_graph::{traversal, EdgeId, Graph, NodeId};
+use lad_graph::{EdgeId, Graph, NodeId};
 use std::fmt;
 
 /// Why a completion attempt failed.
@@ -88,15 +88,43 @@ pub fn complete(
     for &v in check_nodes {
         is_check[v.index()] = true;
     }
-    let affected_by_node: Vec<Vec<NodeId>> = g
-        .nodes()
-        .map(|v| {
-            traversal::ball(g, v, r)
-                .into_iter()
-                .filter_map(|(u, _)| is_check[u.index()].then_some(u))
-                .collect()
-        })
-        .collect();
+    // One epoch-stamped scratch shared by every per-node BFS: `ball` would
+    // allocate (and zero) an O(n) distance array per call, turning this
+    // precompute quadratic on large regions — the visit order below is the
+    // same FIFO order `traversal::ball` produces, so the lists are
+    // identical.
+    let affected_by_node: Vec<Vec<NodeId>> = {
+        let mut stamp = vec![0u32; g.n()];
+        let mut epoch = 0u32;
+        let mut queue: Vec<(NodeId, usize)> = Vec::new();
+        g.nodes()
+            .map(|v| {
+                epoch += 1;
+                queue.clear();
+                queue.push((v, 0));
+                stamp[v.index()] = epoch;
+                let mut out = Vec::new();
+                let mut head = 0;
+                while head < queue.len() {
+                    let (u, d) = queue[head];
+                    head += 1;
+                    if is_check[u.index()] {
+                        out.push(u);
+                    }
+                    if d == r {
+                        continue;
+                    }
+                    for &w in g.neighbors(u) {
+                        if stamp[w.index()] != epoch {
+                            stamp[w.index()] = epoch;
+                            queue.push((w, d + 1));
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    };
     let affected_by_edge: Vec<Vec<NodeId>> = g
         .edge_ids()
         .map(|e| {

@@ -21,7 +21,7 @@
 //!   of classes it confirmed (each `Expand` rung plus its final verdict),
 //!   a batch releases the dirty nodes' chains, classes that lose their
 //!   last member are retired, and the dirty nodes re-probe through a
-//!   fresh [`ShellEngine`] tile sweep — paying canonical re-keying for
+//!   fresh `ShellEngine` tile sweep — paying canonical re-keying for
 //!   `O(dirty)` centers, not `n`. Classes are keyed by canonical ball
 //!   structure, which is graph-independent, so surviving classes serve
 //!   the mutated graph unchanged (and stay under the same geometric
@@ -415,5 +415,134 @@ where
     /// node); an invariant the churn tests check across batches.
     pub fn member_count(&self) -> usize {
         self.memo.member_count()
+    }
+}
+
+/// A churn session whose executor family is chosen by the adaptive
+/// planner ([`crate::plan_decode`]) at open time.
+///
+/// The caller supplies *both* formulations of the same algorithm — the
+/// per-node closure the plain session runs and the
+/// tag/[`MemoStep`]-ladder the memoized session runs — and the planner's
+/// instance probe decides which one carries the session. The churn
+/// differential harness pins both sessions bit-identical to a
+/// from-scratch run, so the choice is pure speed: a class-heavy instance
+/// (cycles, uniform inputs) keeps its persistent memo warm across
+/// batches, while a class-sparse one (small tori, distinct advice) skips
+/// canonical keying entirely.
+pub enum PlannedChurnLocal<In, Out, A, Tag, Step> {
+    /// The planner chose the plain cached session.
+    Plain(ChurnLocal<In, Out, A>),
+    /// The planner chose the persistent class-memo session.
+    Memo(ChurnMemoLocal<In, Out, Tag, Step>),
+}
+
+impl<In, Out, A, Tag, Step> PlannedChurnLocal<In, Out, A, Tag, Step>
+where
+    In: Clone,
+    Out: Clone + PartialEq,
+    A: Fn(&NodeCtx<In>) -> Out,
+    Tag: Fn(&In, &mut Vec<u64>),
+{
+    /// Probes `net` and opens the session the planner picked, returning
+    /// it together with the decision (probe evidence included). `algo`
+    /// and the `input_tag`/`step` ladder must compute the same per-node
+    /// output; `schema` selects the planner's calibration prior.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ChurnMemoLocal::new`]'s contract when the memoized
+    /// session is chosen; the plain session is infallible to open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_radius > max_radius`, or (plain leg) if a node
+    /// requests a view beyond `max_radius`.
+    pub fn open<E>(
+        net: Network<In>,
+        initial_radius: usize,
+        max_radius: usize,
+        schema: &str,
+        algo: A,
+        input_tag: Tag,
+        step: Step,
+    ) -> Result<(Self, crate::plan::PlanDecision), E>
+    where
+        E: From<NotOrderInvariant>,
+        Step: Fn(&crate::Ball<In>) -> Result<MemoStep<Out>, E>,
+    {
+        assert!(initial_radius <= max_radius);
+        let plan = crate::plan::plan_decode(&net, initial_radius, &input_tag, schema, None);
+        let session = match plan.path {
+            crate::plan::ExecPath::Plain => {
+                PlannedChurnLocal::Plain(ChurnLocal::new(net, max_radius, algo))
+            }
+            crate::plan::ExecPath::Memo => PlannedChurnLocal::Memo(ChurnMemoLocal::new(
+                net,
+                initial_radius,
+                max_radius,
+                input_tag,
+                step,
+            )?),
+        };
+        Ok((session, plan))
+    }
+
+    /// Which family carries this session.
+    pub fn path(&self) -> crate::plan::ExecPath {
+        match self {
+            PlannedChurnLocal::Plain(_) => crate::plan::ExecPath::Plain,
+            PlannedChurnLocal::Memo(_) => crate::plan::ExecPath::Memo,
+        }
+    }
+
+    /// Applies an edit batch through whichever session is live. See
+    /// [`ChurnLocal::apply`] / [`ChurnMemoLocal::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Only the memoized leg can fail (first-in-node-order step error or
+    /// [`NotOrderInvariant`]); the plain leg always succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memoized leg was poisoned by an earlier error.
+    pub fn apply<E>(&mut self, edits: &[Edit]) -> Result<RepairReport, E>
+    where
+        E: From<NotOrderInvariant>,
+        Step: Fn(&crate::Ball<In>) -> Result<MemoStep<Out>, E>,
+    {
+        match self {
+            PlannedChurnLocal::Plain(s) => Ok(s.apply(edits)),
+            PlannedChurnLocal::Memo(s) => s.apply(edits),
+        }
+    }
+
+    /// The current per-node outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memoized leg is poisoned.
+    pub fn outputs(&self) -> Vec<Out> {
+        match self {
+            PlannedChurnLocal::Plain(s) => s.outputs().to_vec(),
+            PlannedChurnLocal::Memo(s) => s.outputs(),
+        }
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &Network<In> {
+        match self {
+            PlannedChurnLocal::Plain(s) => s.network(),
+            PlannedChurnLocal::Memo(s) => s.network(),
+        }
+    }
+
+    /// Per-node view radii of the current outputs.
+    pub fn round_stats(&self) -> RoundStats {
+        match self {
+            PlannedChurnLocal::Plain(s) => s.round_stats(),
+            PlannedChurnLocal::Memo(s) => s.round_stats(),
+        }
     }
 }

@@ -597,6 +597,13 @@ pub struct MemoStats {
     pub key_ns: u64,
     /// Nanoseconds spent materializing balls and evaluating the step.
     pub eval_ns: u64,
+    /// Planner decisions that selected the plain parallel path.
+    pub plans_plain: u64,
+    /// Planner decisions that selected the memoized (shell-tiled) path.
+    pub plans_memo: u64,
+    /// Nanoseconds spent in planner instance probes (sampled keying and
+    /// step evaluation).
+    pub probe_ns: u64,
 }
 
 impl MemoStats {
@@ -631,6 +638,9 @@ impl MemoStats {
         self.sweep_ns += other.sweep_ns;
         self.key_ns += other.key_ns;
         self.eval_ns += other.eval_ns;
+        self.plans_plain += other.plans_plain;
+        self.plans_memo += other.plans_memo;
+        self.probe_ns += other.probe_ns;
     }
 }
 
@@ -643,6 +653,9 @@ static MEMO_GATHER_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_SWEEP_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_KEY_NS: AtomicU64 = AtomicU64::new(0);
 static MEMO_EVAL_NS: AtomicU64 = AtomicU64::new(0);
+static MEMO_PLANS_PLAIN: AtomicU64 = AtomicU64::new(0);
+static MEMO_PLANS_MEMO: AtomicU64 = AtomicU64::new(0);
+static MEMO_PROBE_NS: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn flush_memo_stats(s: &MemoStats) {
     MEMO_LOOKUPS.fetch_add(s.lookups, Ordering::Relaxed);
@@ -654,6 +667,21 @@ pub(crate) fn flush_memo_stats(s: &MemoStats) {
     MEMO_SWEEP_NS.fetch_add(s.sweep_ns, Ordering::Relaxed);
     MEMO_KEY_NS.fetch_add(s.key_ns, Ordering::Relaxed);
     MEMO_EVAL_NS.fetch_add(s.eval_ns, Ordering::Relaxed);
+    MEMO_PLANS_PLAIN.fetch_add(s.plans_plain, Ordering::Relaxed);
+    MEMO_PLANS_MEMO.fetch_add(s.plans_memo, Ordering::Relaxed);
+    MEMO_PROBE_NS.fetch_add(s.probe_ns, Ordering::Relaxed);
+}
+
+/// Records one planner decision (and its probe cost) into the
+/// process-wide counters — called by [`crate::plan`] so every planner
+/// choice is visible to the same `memo_stats` snapshot benchmarks read.
+pub(crate) fn record_plan(memo_chosen: bool, probe_ns: u64) {
+    if memo_chosen {
+        MEMO_PLANS_MEMO.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MEMO_PLANS_PLAIN.fetch_add(1, Ordering::Relaxed);
+    }
+    MEMO_PROBE_NS.fetch_add(probe_ns, Ordering::Relaxed);
 }
 
 /// Resets the process-wide [`memo_stats`] counters. Benchmarks bracket a
@@ -671,6 +699,9 @@ pub fn memo_stats_reset() {
         &MEMO_SWEEP_NS,
         &MEMO_KEY_NS,
         &MEMO_EVAL_NS,
+        &MEMO_PLANS_PLAIN,
+        &MEMO_PLANS_MEMO,
+        &MEMO_PROBE_NS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -690,6 +721,9 @@ pub fn memo_stats() -> MemoStats {
         sweep_ns: MEMO_SWEEP_NS.load(Ordering::Relaxed),
         key_ns: MEMO_KEY_NS.load(Ordering::Relaxed),
         eval_ns: MEMO_EVAL_NS.load(Ordering::Relaxed),
+        plans_plain: MEMO_PLANS_PLAIN.load(Ordering::Relaxed),
+        plans_memo: MEMO_PLANS_MEMO.load(Ordering::Relaxed),
+        probe_ns: MEMO_PROBE_NS.load(Ordering::Relaxed),
     }
 }
 

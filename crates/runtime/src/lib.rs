@@ -75,6 +75,7 @@ pub mod gather;
 pub mod lookup;
 pub mod messaging;
 pub mod network;
+pub mod plan;
 pub mod shell;
 pub mod transport;
 
@@ -83,7 +84,7 @@ pub use cache::{CacheStats, ViewCache};
 pub use canonical::{
     canonicalize, canonicalize_tagged_with, canonicalize_with, CanonScratch, CanonicalKey,
 };
-pub use churn::{ChurnLocal, ChurnMemoLocal, RepairReport};
+pub use churn::{ChurnLocal, ChurnMemoLocal, PlannedChurnLocal, RepairReport};
 pub use ctx::NodeCtx;
 pub use executor::{
     effective_parallelism, memo_stats, memo_stats_reset, par_map, par_map_with, run_local,
@@ -100,6 +101,7 @@ pub use messaging::{
     RoundOutcome, Strict,
 };
 pub use network::Network;
+pub use plan::{forced_path, plan_decode, set_force_path, Calibration, ExecPath, PlanDecision};
 pub use shell::{fold_key_words, shell_class_keys, shell_class_keys_at_radii};
 pub use transport::{
     CopyFate, Corruptible, Fate, FaultPlan, FaultRun, FaultStats, PerfectLink, Transport,

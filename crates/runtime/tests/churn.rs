@@ -26,8 +26,8 @@
 use lad_graph::mutate::{Edit, MutableGraph};
 use lad_graph::{builder::GraphBuilder, generators, Graph, NodeId};
 use lad_runtime::{
-    run_local, run_local_fallible, run_local_par_with, Ball, ChurnLocal, ChurnMemoLocal, MemoStep,
-    Network, NodeCtx, NotOrderInvariant,
+    run_local, run_local_fallible, run_local_par_with, set_force_path, Ball, ChurnLocal,
+    ChurnMemoLocal, ExecPath, MemoStep, Network, NodeCtx, NotOrderInvariant, PlannedChurnLocal,
 };
 use proptest::prelude::*;
 
@@ -343,6 +343,82 @@ fn churn_memo_first_error_after_churn_matches_scratch() {
     )
     .unwrap_err();
     assert_eq!(err, expected, "first-error choice diverged after churn");
+}
+
+#[test]
+fn planned_churn_matches_scratch_under_every_forced_path() {
+    // The planner picks the session family per instance; whichever leg it
+    // (or the operator, via `set_force_path`) lands on, every batch must
+    // leave outputs and round stats bit-identical to a from-scratch run,
+    // and the three legs must agree with each other.
+    type LadderOut = (usize, (usize, usize, u64, usize));
+    let algo = |ctx: &NodeCtx<u32>| {
+        let mut r = 0;
+        loop {
+            let ball = ctx.ball(r);
+            if ball.n() >= 10 || r >= 3 {
+                return (r, oi_digest(&ball));
+            }
+            r += 1;
+        }
+    };
+    let step = |ball: &Ball<u32>| -> Result<MemoStep<LadderOut>, NotOrderInvariant> {
+        let r = ball.radius();
+        if ball.n() >= 10 || r >= 3 {
+            Ok(MemoStep::Done((r, oi_digest(ball))))
+        } else {
+            Ok(MemoStep::Expand(r + 1))
+        }
+    };
+    for (idx, (tag_, g)) in generator_grid().into_iter().enumerate() {
+        let n = g.n();
+        let mut final_outputs: Vec<Vec<LadderOut>> = Vec::new();
+        for force in [None, Some(ExecPath::Plain), Some(ExecPath::Memo)] {
+            set_force_path(force);
+            let opened =
+                PlannedChurnLocal::open(network_for(&g), 0, 3, "delta-coloring", algo, tag, step);
+            set_force_path(None);
+            let (mut session, plan) = opened.unwrap();
+            assert_eq!(
+                session.path(),
+                plan.path,
+                "{tag_}: session family disagrees with the recorded plan"
+            );
+            if let Some(forced) = force {
+                assert_eq!(plan.path, forced, "{tag_}: forced path was ignored");
+            }
+            for (b, batch) in script_for(n, 0x91AD * (idx as u64 + 1), 3, 3)
+                .into_iter()
+                .enumerate()
+            {
+                let report = session.apply(&batch).unwrap();
+                assert_eq!(
+                    report.applied + report.skipped,
+                    batch.len(),
+                    "{tag_}/batch{b} [{:?}]: edits unaccounted for",
+                    plan.path
+                );
+                let expected = run_local(session.network(), algo);
+                assert_eq!(
+                    session.outputs(),
+                    expected.0,
+                    "{tag_}/batch{b} [{:?}]: planned outputs diverged from scratch",
+                    plan.path
+                );
+                assert_eq!(
+                    session.round_stats(),
+                    expected.1,
+                    "{tag_}/batch{b} [{:?}]: planned round stats diverged",
+                    plan.path
+                );
+            }
+            final_outputs.push(session.outputs());
+        }
+        assert!(
+            final_outputs.windows(2).all(|w| w[0] == w[1]),
+            "{tag_}: forced legs disagree after identical edit scripts"
+        );
+    }
 }
 
 /// Builds the `family`-th random graph family, as in `equivalence.rs`.
