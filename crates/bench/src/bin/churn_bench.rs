@@ -143,6 +143,11 @@ impl Samples {
              p99 {repair_p99:.5}s  scratch p50 {scratch_p50:.5}s  speedup {speedup:>7.1}x  \
              repaired p50 {repaired_p50} max {repaired_max}  verified={verified}"
         );
+        // Process-wide resident high water at row completion (monotone
+        // across rows — see `lad_bench::rss`); absent off Linux.
+        let rss_json = lad_bench::peak_rss_mb()
+            .map(|v| format!(", \"peak_rss_mb\": {v:.1}"))
+            .unwrap_or_default();
         Row {
             json: format!(
                 "    {{\"kind\": \"{kind}\", \"family\": \"{family}\", \"n\": {n}, \"m\": {m}, \
@@ -151,7 +156,7 @@ impl Samples {
                  \"scratch_p50_s\": {scratch_p50:.6}, \"speedup\": {speedup:.2}, \
                  \"edits_per_s\": {edits_per_s:.0}, \
                  \"repaired_p50\": {repaired_p50}, \"repaired_max\": {repaired_max}, \
-                 \"queries\": {}, \"query_s\": {:.6}, \"verified\": {verified}}}",
+                 \"queries\": {}, \"query_s\": {:.6}, \"verified\": {verified}{rss_json}}}",
                 self.queries, self.query_s,
             ),
             verified,

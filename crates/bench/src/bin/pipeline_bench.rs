@@ -144,6 +144,11 @@ fn measure<S: AdviceSchema>(
          {nodes_per_s:>10.0} nodes/s  {} bits on {} holders  T={rounds}  verified={verified}",
         a.total_bits, a.holders,
     );
+    // Process-wide resident high water at row completion (monotone across
+    // rows — see `lad_bench::rss`); absent off Linux.
+    let rss_json = lad_bench::peak_rss_mb()
+        .map(|v| format!(", \"peak_rss_mb\": {v:.1}"))
+        .unwrap_or_default();
     Cell {
         json: format!(
             "    {{\"schema\": \"{label}\", \"family\": \"{family}\", \"n\": {n}, \
@@ -154,7 +159,8 @@ fn measure<S: AdviceSchema>(
              \"hit_rate\": {hit_rate:.4}, \"fp_reject_rate\": {fp_reject_rate:.4}, \
              \"total_s\": {total_s:.6}, \"nodes_per_s\": {nodes_per_s:.0}, \
              \"advice_total_bits\": {}, \"advice_max_bits\": {}, \"advice_holders\": {}, \
-             \"advice_kind\": \"{:?}\", \"rounds\": {rounds}, \"verified\": {verified}}}",
+             \"advice_kind\": \"{:?}\", \"rounds\": {rounds}, \"verified\": {verified}\
+             {rss_json}}}",
             a.total_bits, a.max_bits, a.holders, a.kind,
         ),
         errored: !verified,
@@ -208,6 +214,21 @@ fn calibrate(out_path: &str) {
     });
     let cluster = ClusterColoringSchema::default();
     let advice = cluster.encode(&net).expect("cluster encode");
+    // The sharded prior must come BEFORE the monolithic cluster-coloring
+    // row: `Calibration::embedded` matches by first prefix, and the
+    // monolithic name is a prefix of the sharded one. The workload is the
+    // same torus carved into 8 shards — halo'd slices re-derive boundary
+    // balls, so the sharded per-ball costs are genuinely different priors.
+    {
+        let (_, stats) = cluster.decode(&net, &advice).expect("cluster decode");
+        let part = lad_graph::Partition::contiguous(net.graph().n(), 8);
+        let opts = lad_runtime::ShardOpts::new(stats.rounds() + 1);
+        measure(&cluster.shard_plan_name(), &|| {
+            cluster
+                .decode_sharded(&net, &advice, &part, &opts)
+                .expect("sharded decode");
+        });
+    }
     measure("cluster-coloring", &|| {
         cluster.decode(&net, &advice).expect("cluster decode");
     });

@@ -14,6 +14,8 @@
 //! ```
 
 pub mod experiments;
+pub mod rss;
 pub mod table;
 
+pub use rss::{current_rss_mb, peak_rss_mb};
 pub use table::Table;

@@ -94,6 +94,32 @@ impl ClusterColoringSchema {
         (self.max_cluster_colors + 2) * (2 * self.cluster_spacing + 2)
     }
 
+    /// The decode ladder's initial radius and per-`Expand` increment.
+    pub fn step_radius(&self) -> usize {
+        2 * self.cluster_spacing + 2
+    }
+
+    /// One rung of the decode ladder as a [`MemoStep`] — the exact step
+    /// both [`AdviceSchema::decode`] and the sharded drivers run, factored
+    /// out so the two paths cannot drift.
+    pub(crate) fn memo_step(&self, ball: &Ball<BitString>) -> Result<MemoStep<usize>, DecodeError> {
+        let r = ball.radius();
+        let max_radius = self.max_radius();
+        match simulate_greedy(
+            ball,
+            self.cluster_spacing,
+            self.color_width(),
+            self.max_cluster_colors,
+        )? {
+            Some(color) => Ok(MemoStep::Done(color)),
+            None if r >= max_radius => Err(DecodeError::malformed(
+                ball.global_node(ball.center()),
+                "greedy color undetermined at the maximum radius",
+            )),
+            None => Ok(MemoStep::Expand((r + self.step_radius()).min(max_radius))),
+        }
+    }
+
     /// The Voronoi clustering induced by `centers`: for each node, the
     /// `(distance, uid)`-nearest center.
     ///
@@ -105,7 +131,12 @@ impl ClusterColoringSchema {
     /// (ball-sized work per center instead of `O(n)`), and centers fan out
     /// across workers whose claim arrays merge by the same deterministic
     /// minimum. Result is identical to the full all-centers Voronoi.
-    fn assign_clusters(g: &Graph, uids: &[u64], centers: &[NodeId], spacing: usize) -> Vec<NodeId> {
+    pub(crate) fn assign_clusters(
+        g: &Graph,
+        uids: &[u64],
+        centers: &[NodeId],
+        spacing: usize,
+    ) -> Vec<NodeId> {
         let threads = lad_runtime::effective_parallelism(g.n()).max(1);
         let chunk_len = centers.len().div_ceil(threads).max(1);
         let chunks: Vec<&[NodeId]> = centers.chunks(chunk_len).collect();
@@ -153,24 +184,19 @@ impl ClusterColoringSchema {
             .map(|b| b.expect("ruling set dominates every node").2)
             .collect()
     }
-}
 
-impl AdviceSchema for ClusterColoringSchema {
-    type Output = Vec<usize>;
-
-    fn name(&self) -> String {
-        format!(
-            "cluster-coloring(spacing={}, colors<={})",
-            self.cluster_spacing, self.max_cluster_colors
-        )
-    }
-
-    fn encode(&self, net: &Network) -> Result<AdviceMap, EncodeError> {
-        let g = net.graph();
-        let uids = net.uids();
-        let centers = ruling::ruling_set(g, self.cluster_spacing);
-        let cluster_of = Self::assign_clusters(g, uids, &centers, self.cluster_spacing);
-        // Color the cluster graph greedily (by center uid order).
+    /// The encode tail shared by the monolithic and sharded encoders:
+    /// colors the cluster graph greedily (by center uid order) and packs
+    /// each center's cluster color into the advice arena. Both encoders
+    /// produce the same `(centers, cluster_of)` inputs, so sharing this
+    /// tail is what makes their advice bit-identical.
+    pub(crate) fn advice_from_clusters(
+        &self,
+        g: &Graph,
+        uids: &[u64],
+        centers: &[NodeId],
+        cluster_of: &[NodeId],
+    ) -> Result<AdviceMap, EncodeError> {
         let mut center_index = vec![usize::MAX; g.n()];
         for (i, &c) in centers.iter().enumerate() {
             center_index[c.index()] = i;
@@ -204,6 +230,25 @@ impl AdviceSchema for ClusterColoringSchema {
             strings[c.index()] = bits;
         }
         Ok(AdviceMap::from_strings(strings))
+    }
+}
+
+impl AdviceSchema for ClusterColoringSchema {
+    type Output = Vec<usize>;
+
+    fn name(&self) -> String {
+        format!(
+            "cluster-coloring(spacing={}, colors<={})",
+            self.cluster_spacing, self.max_cluster_colors
+        )
+    }
+
+    fn encode(&self, net: &Network) -> Result<AdviceMap, EncodeError> {
+        let g = net.graph();
+        let uids = net.uids();
+        let centers = ruling::ruling_set(g, self.cluster_spacing);
+        let cluster_of = Self::assign_clusters(g, uids, &centers, self.cluster_spacing);
+        self.advice_from_clusters(g, uids, &centers, &cluster_of)
     }
 
     fn decode(
@@ -241,19 +286,9 @@ impl AdviceSchema for ClusterColoringSchema {
             // is shared across every node in it.
             run_local_memo_fallible_par(
                 &advised,
-                2 * spacing + 2,
+                self.step_radius(),
                 |bits: &BitString, words: &mut Vec<u64>| bits.push_key_words(words),
-                |ball| {
-                    let r = ball.radius();
-                    match simulate_greedy(ball, spacing, width, max_colors)? {
-                        Some(color) => Ok(MemoStep::Done(color)),
-                        None if r >= max_radius => Err(DecodeError::malformed(
-                            ball.global_node(ball.center()),
-                            "greedy color undetermined at the maximum radius",
-                        )),
-                        None => Ok(MemoStep::Expand((r + 2 * spacing + 2).min(max_radius))),
-                    }
-                },
+                |ball| self.memo_step(ball),
             )?
         } else {
             run_local_fallible_par(&advised, |ctx| {

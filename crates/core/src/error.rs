@@ -91,6 +91,15 @@ impl From<lad_runtime::NotOrderInvariant> for DecodeError {
     }
 }
 
+impl From<lad_runtime::HaloExceeded> for DecodeError {
+    fn from(e: lad_runtime::HaloExceeded) -> Self {
+        // A too-shallow halo is an inconsistency between the shard
+        // configuration and the decoder's radius demand, not bad advice:
+        // the caller should rebuild views with a deeper halo and rerun.
+        DecodeError::Inconsistent(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,8 +63,10 @@ pub mod onebit;
 pub mod open_problems;
 pub mod proofs;
 pub mod schema;
+pub mod sharded;
 pub mod splitting;
 pub mod three_coloring;
+pub mod torus_stream;
 pub mod tracks;
 
 pub use advice::AdviceMap;

@@ -50,6 +50,7 @@ pub mod mutate;
 pub mod orientation;
 pub mod power;
 pub mod ruling;
+pub mod shard;
 pub mod subgraph;
 pub mod traversal;
 
@@ -59,5 +60,6 @@ pub use graph::{EdgeId, Graph, NodeId};
 pub use ids::IdAssignment;
 pub use mutate::{Edit, EditReport, MutableGraph};
 pub use orientation::{EulerPartition, Orientation, Trail};
+pub use shard::{Partition, ShardView};
 pub use subgraph::InducedSubgraph;
 pub mod degeneracy;

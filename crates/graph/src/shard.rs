@@ -1,0 +1,456 @@
+//! Graph partitions and halo-extended shard views for out-of-core runs.
+//!
+//! A `T`-round LOCAL algorithm reads nothing outside each node's
+//! radius-`T` ball, so an `n`-node run decomposes into `K` independent
+//! slices: partition the nodes, and give each shard its *interior*
+//! (the nodes it owns) plus a read-only *halo* — every node within
+//! distance `T` of the interior. The shard's induced subgraph then
+//! contains every ball of radius `≤ T − 1` around an interior node
+//! **bit-identically** (see the soundness note below), so decoding the
+//! interior of each shard in isolation reproduces the global run exactly.
+//!
+//! # Halo soundness
+//!
+//! Let `M ⊇ N_{≤T}[interior]` be a shard's member set and take any
+//! interior center `c` and radius `r ≤ T − 1`:
+//!
+//! * **Distances are exact.** A global shortest path to a node at
+//!   distance `d ≤ r` stays within distance `d ≤ T − 1` of `c`, hence
+//!   inside `M`; induced-subgraph distances can only exceed global ones,
+//!   so they agree on the whole ball.
+//! * **Degrees are exact.** A ball records the host graph's degree of
+//!   every member, including those at distance exactly `r`. Such a
+//!   member's neighbors sit at distance `≤ r + 1 ≤ T`, all inside `M`,
+//!   so the induced degree equals the global degree.
+//!
+//! Together the local ball has the same members, distances, edges,
+//! degrees, identifiers, and inputs as the global one — only the
+//! *global node names* differ, and those never influence an
+//! order-invariant step. Radius `T` itself is **not** safe: a member at
+//! distance `T` may be missing edges to nodes outside `M`, so its
+//! recorded degree would silently undercount. The runtime driver
+//! therefore enforces `ladder radius ≤ halo_radius − 1` and fails
+//! loudly instead of truncating.
+//!
+//! Any member **superset** of `N_{≤T}[interior]` keeps both properties,
+//! which is what makes the single-pass streaming membership
+//! ([`halo_masks`]) sound: it may over-propagate within a pass, but it
+//! never under-approximates the halo.
+
+use crate::builder::from_sorted_edges;
+use crate::frontier::{BitFrontier, TILE_WIDTH};
+use crate::graph::{Graph, NodeId};
+
+/// A disjoint assignment of every node to one of `k` shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    owner: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Contiguous index ranges: shard `s` owns nodes
+    /// `[s·⌈n/k⌉, (s+1)·⌈n/k⌉)`. The only rule that also works when the
+    /// graph is never materialized (the streaming builders use it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "a partition needs at least one shard");
+        let slab = n.div_ceil(k).max(1);
+        Partition {
+            owner: (0..n).map(|i| ((i / slab).min(k - 1)) as u32).collect(),
+            k,
+        }
+    }
+
+    /// BFS-grown shards: nodes are laid out in network-wide BFS order
+    /// (restarting at the smallest unvisited node per component) and that
+    /// order is cut into `k` equal slabs, so each shard is a union of
+    /// spatially coherent BFS runs and its boundary — hence its halo —
+    /// stays near the slab seams instead of scaling with the shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn bfs_grown(g: &Graph, k: usize) -> Self {
+        assert!(k >= 1, "a partition needs at least one shard");
+        let n = g.n();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut head = 0usize;
+        let mut next_seed = 0usize;
+        while order.len() < n {
+            if head == order.len() {
+                while seen[next_seed] {
+                    next_seed += 1;
+                }
+                seen[next_seed] = true;
+                order.push(NodeId::from_index(next_seed));
+            }
+            let v = order[head];
+            head += 1;
+            for &u in g.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    order.push(u);
+                }
+            }
+        }
+        let slab = n.div_ceil(k).max(1);
+        let mut owner = vec![0u32; n];
+        for (pos, v) in order.into_iter().enumerate() {
+            owner[v.index()] = ((pos / slab).min(k - 1)) as u32;
+        }
+        Partition { owner, k }
+    }
+
+    /// A partition from an explicit owner array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any owner is out of range.
+    pub fn from_owners(owner: Vec<u32>, k: usize) -> Self {
+        assert!(k >= 1, "a partition needs at least one shard");
+        assert!(
+            owner.iter().all(|&s| (s as usize) < k),
+            "owner out of range"
+        );
+        Partition { owner, k }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The shard owning `v`.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        self.owner[v.index()] as usize
+    }
+
+    /// The nodes shard `s` owns, in ascending index order.
+    pub fn shard_nodes(&self, s: usize) -> Vec<NodeId> {
+        (0..self.owner.len())
+            .filter(|&i| self.owner[i] as usize == s)
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Per-shard node counts.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &s in &self.owner {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// One shard's slice of the graph: its interior nodes plus a radius-`T`
+/// halo, with the induced subgraph rebuilt as a compact local CSR
+/// (local id = rank of the global id among `members`).
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    /// Which shard of the partition this is.
+    pub shard: usize,
+    /// Halo depth `T` the members were grown to.
+    pub halo_radius: usize,
+    /// Global ids of every member (interior ∪ halo), ascending; the local
+    /// id of `members[i]` is `i`.
+    pub members: Vec<NodeId>,
+    /// Per member: owned by this shard (true) or halo (false).
+    pub interior: Vec<bool>,
+    /// The induced subgraph on `members`, in local ids.
+    pub graph: Graph,
+}
+
+impl ShardView {
+    /// Builds the view of `shard` under `part` with a halo of depth
+    /// `halo_radius`, sharing `frontier` across calls (it is reused, not
+    /// consumed). The halo is exactly `N_{≤T}[interior] \ interior`,
+    /// computed by sweeping 64-center [`BitFrontier`] tiles from the
+    /// shard's *boundary* interior nodes (an interior node with a
+    /// non-interior neighbor) — every halo node is within `T` of one of
+    /// those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard ≥ part.k()` or the partition does not match `g`.
+    pub fn build(
+        g: &Graph,
+        part: &Partition,
+        shard: usize,
+        halo_radius: usize,
+        frontier: &mut BitFrontier,
+    ) -> ShardView {
+        assert!(shard < part.k(), "shard index out of range");
+        assert_eq!(part.n(), g.n(), "partition does not match the graph");
+        let n = g.n();
+        let mut member = vec![false; n];
+        let mut boundary: Vec<NodeId> = Vec::new();
+        for (i, m) in member.iter_mut().enumerate() {
+            let v = NodeId::from_index(i);
+            if part.owner(v) != shard {
+                continue;
+            }
+            *m = true;
+            if g.neighbors(v).iter().any(|&u| part.owner(u) != shard) {
+                boundary.push(v);
+            }
+        }
+        if halo_radius > 0 {
+            for tile in boundary.chunks(TILE_WIDTH) {
+                frontier.start(g, tile);
+                frontier.extend(g, halo_radius);
+                for &v in frontier.touched() {
+                    member[v.index()] = true;
+                }
+            }
+        }
+        let members: Vec<NodeId> = (0..n)
+            .filter(|&i| member[i])
+            .map(NodeId::from_index)
+            .collect();
+        let mut local = vec![u32::MAX; n];
+        for (li, &v) in members.iter().enumerate() {
+            local[v.index()] = li as u32;
+        }
+        // Ascending members × ascending larger member-neighbors emits the
+        // induced edges already lex-sorted in local ids (local order is
+        // global order), so the CSR builds with no sort pass.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (li, &v) in members.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                if u > v && member[u.index()] {
+                    edges.push((
+                        NodeId::from_index(li),
+                        NodeId::from_index(local[u.index()] as usize),
+                    ));
+                }
+            }
+        }
+        let graph = from_sorted_edges(members.len(), edges);
+        let interior = members.iter().map(|&v| part.owner(v) == shard).collect();
+        ShardView {
+            shard,
+            halo_radius,
+            members,
+            interior,
+            graph,
+        }
+    }
+
+    /// The local id of global node `v`, if it is a member.
+    pub fn local_of(&self, v: NodeId) -> Option<usize> {
+        self.members.binary_search(&v).ok()
+    }
+
+    /// Number of interior (owned) members.
+    pub fn interior_count(&self) -> usize {
+        self.interior.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Streaming shard membership for graphs too large to materialize:
+/// per-node `u64` masks whose bit `s` means "node is a member of shard
+/// `s`" (interior or halo), computed with `halo` passes over the edge
+/// stream and **no** adjacency structure.
+///
+/// `replay` must emit the same edge set on every call (any order). Each
+/// pass relaxes `mask[u] |= mask[v]` both ways; updates made earlier in a
+/// pass may cascade within it, so after `p` passes a node's mask covers
+/// *at least* `N_{≤p}` — a superset of the true halo, which the
+/// [soundness argument](self) shows is harmless. Passes stop early once a
+/// full sweep changes nothing.
+///
+/// # Panics
+///
+/// Panics if `part.k() > 64` (one mask bit per shard).
+pub fn halo_masks(
+    part: &Partition,
+    halo: usize,
+    mut replay: impl FnMut(&mut dyn FnMut(NodeId, NodeId)),
+) -> Vec<u64> {
+    assert!(
+        part.k() <= 64,
+        "streaming membership holds one bit per shard"
+    );
+    let n = part.n();
+    let mut mask: Vec<u64> = (0..n)
+        .map(|i| 1u64 << part.owner(NodeId::from_index(i)))
+        .collect();
+    for _ in 0..halo {
+        let mut changed = false;
+        replay(&mut |u: NodeId, v: NodeId| {
+            let joined = mask[u.index()] | mask[v.index()];
+            if mask[u.index()] != joined || mask[v.index()] != joined {
+                mask[u.index()] = joined;
+                mask[v.index()] = joined;
+                changed = true;
+            }
+        });
+        if !changed {
+            break;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    #[test]
+    fn contiguous_covers_and_balances() {
+        let p = Partition::contiguous(10, 3);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.sizes(), vec![4, 4, 2]);
+        assert_eq!(p.owner(NodeId(0)), 0);
+        assert_eq!(p.owner(NodeId(9)), 2);
+        // k > n still covers every node with in-range owners.
+        let p = Partition::contiguous(2, 8);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn bfs_grown_is_a_partition_of_coherent_runs() {
+        let g = generators::grid2d(8, 8, false);
+        let p = Partition::bfs_grown(&g, 4);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 64);
+        assert!(p.sizes().iter().all(|&s| s == 16));
+        // Each shard should be far more internally connected than a
+        // random 16-node subset of the grid: at least half its nodes have
+        // a same-shard neighbor.
+        for s in 0..4 {
+            let nodes = p.shard_nodes(s);
+            let internal = nodes
+                .iter()
+                .filter(|&&v| g.neighbors(v).iter().any(|&u| p.owner(u) == s))
+                .count();
+            assert!(internal * 2 >= nodes.len(), "shard {s} is scattered");
+        }
+    }
+
+    #[test]
+    fn view_members_are_exactly_the_halo_closure() {
+        let g = generators::grid2d(6, 6, true);
+        let part = Partition::contiguous(g.n(), 3);
+        let mut f = BitFrontier::new(g.n());
+        for shard in 0..3 {
+            for t in 0..3usize {
+                let view = ShardView::build(&g, &part, shard, t, &mut f);
+                // Oracle: BFS distance from the interior set.
+                let interior: Vec<NodeId> = part.shard_nodes(shard);
+                let mut expect = vec![false; g.n()];
+                for &c in &interior {
+                    let dist = traversal::bfs_distances(&g, c);
+                    for v in g.nodes() {
+                        if dist[v.index()].is_some_and(|d| d <= t) {
+                            expect[v.index()] = true;
+                        }
+                    }
+                }
+                let got: Vec<bool> = {
+                    let mut m = vec![false; g.n()];
+                    for &v in &view.members {
+                        m[v.index()] = true;
+                    }
+                    m
+                };
+                assert_eq!(got, expect, "shard {shard} halo {t}");
+                assert_eq!(view.interior_count(), interior.len());
+            }
+        }
+    }
+
+    #[test]
+    fn view_graph_is_the_induced_subgraph() {
+        let g = generators::random_bounded_degree(60, 4, 100, 9);
+        let part = Partition::bfs_grown(&g, 4);
+        let mut f = BitFrontier::new(g.n());
+        for shard in 0..4 {
+            let view = ShardView::build(&g, &part, shard, 2, &mut f);
+            // Every induced edge present, with ports implied by sorted
+            // adjacency in both graphs.
+            let mut m = 0usize;
+            for (li, &v) in view.members.iter().enumerate() {
+                let locals: Vec<NodeId> = g
+                    .neighbors(v)
+                    .iter()
+                    .filter_map(|&u| view.local_of(u).map(NodeId::from_index))
+                    .collect();
+                assert_eq!(
+                    view.graph.neighbors(NodeId::from_index(li)),
+                    &locals[..],
+                    "adjacency of member {v:?}"
+                );
+                m += locals.len();
+            }
+            assert_eq!(view.graph.m() * 2, m);
+        }
+    }
+
+    #[test]
+    fn interior_nodes_cover_the_graph_once() {
+        let g = generators::cycle(17);
+        let part = Partition::contiguous(g.n(), 5);
+        let mut f = BitFrontier::new(g.n());
+        let mut owned = vec![0usize; g.n()];
+        for shard in 0..5 {
+            let view = ShardView::build(&g, &part, shard, 3, &mut f);
+            for (li, &v) in view.members.iter().enumerate() {
+                if view.interior[li] {
+                    owned[v.index()] += 1;
+                }
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn halo_masks_superset_of_views() {
+        let g = generators::grid2d(7, 5, false);
+        let part = Partition::contiguous(g.n(), 4);
+        let halo = 2;
+        let masks = halo_masks(&part, halo, |emit| {
+            for (_, (u, v)) in g.edges() {
+                emit(u, v);
+            }
+        });
+        let mut f = BitFrontier::new(g.n());
+        for shard in 0..4 {
+            let view = ShardView::build(&g, &part, shard, halo, &mut f);
+            for &v in &view.members {
+                assert!(
+                    masks[v.index()] & (1 << shard) != 0,
+                    "mask misses member {v:?} of shard {shard}"
+                );
+            }
+        }
+        // And never a member of a shard it is farther than `halo` from.
+        for v in g.nodes() {
+            for shard in 0..4 {
+                if masks[v.index()] & (1 << shard) == 0 {
+                    let view = ShardView::build(&g, &part, shard, halo, &mut f);
+                    assert!(view.local_of(v).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_owners_validates() {
+        Partition::from_owners(vec![0, 3], 3);
+    }
+}

@@ -628,7 +628,7 @@ impl MemoStats {
         }
     }
 
-    fn accumulate(&mut self, other: &MemoStats) {
+    pub(crate) fn accumulate(&mut self, other: &MemoStats) {
         self.lookups += other.lookups;
         self.classes += other.classes;
         self.hits += other.hits;
@@ -736,7 +736,7 @@ pub fn memo_stats() -> MemoStats {
 /// fast non-cryptographic word hash is the right trade. Collisions only
 /// cost an extra full-key comparison — never correctness.
 #[derive(Default)]
-struct KeyHasher(u64);
+pub(crate) struct KeyHasher(u64);
 
 impl std::hash::Hasher for KeyHasher {
     fn finish(&self) -> u64 {
@@ -767,7 +767,7 @@ impl std::hash::Hasher for KeyHasher {
     }
 }
 
-type KeyHashMap<V> = HashMap<CanonicalKey, V, std::hash::BuildHasherDefault<KeyHasher>>;
+pub(crate) type KeyHashMap<V> = HashMap<CanonicalKey, V, std::hash::BuildHasherDefault<KeyHasher>>;
 
 /// What the memo records for one canonical class at one rung.
 pub(crate) enum MemoEntryKind<Out> {
@@ -797,7 +797,7 @@ pub(crate) struct MemoEntry<Out> {
     pub(crate) members: u32,
 }
 
-fn memo_kind_eq<Out: PartialEq>(a: &MemoEntryKind<Out>, b: &MemoEntryKind<Out>) -> bool {
+pub(crate) fn memo_kind_eq<Out: PartialEq>(a: &MemoEntryKind<Out>, b: &MemoEntryKind<Out>) -> bool {
     match (a, b) {
         (MemoEntryKind::Done(x), MemoEntryKind::Done(y)) => x == y,
         (MemoEntryKind::Expand(x), MemoEntryKind::Expand(y)) => x == y,
@@ -961,7 +961,7 @@ impl<Out> ClassMemo<Out> {
             .sum()
     }
 
-    fn into_entries(self) -> impl Iterator<Item = (CanonicalKey, MemoEntry<Out>)> {
+    pub(crate) fn into_entries(self) -> impl Iterator<Item = (CanonicalKey, MemoEntry<Out>)> {
         self.buckets.into_values().flatten()
     }
 }

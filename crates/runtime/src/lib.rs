@@ -76,6 +76,7 @@ pub mod lookup;
 pub mod messaging;
 pub mod network;
 pub mod plan;
+pub mod shard;
 pub mod shell;
 pub mod transport;
 
@@ -101,7 +102,16 @@ pub use messaging::{
     RoundOutcome, Strict,
 };
 pub use network::Network;
-pub use plan::{forced_path, plan_decode, set_force_path, Calibration, ExecPath, PlanDecision};
+pub use plan::{
+    forced_path, plan_decode, probe_stride, set_force_path, Calibration, ExecPath, PlanDecision,
+};
+pub use shard::{
+    run_shard_memo_fallible, run_shard_plain_fallible, run_sharded_fallible,
+    run_sharded_memo_fallible, run_sharded_stream_memo_fallible, shard_network, spill_stats,
+    spill_stats_reset, view_spill, view_unspill, HaloExceeded, MemoMerge, ShardMemo, ShardOpts,
+    ShardRun, ShardSlice, ShardTrafficStats, ShardedTransport, SpillKind, SpillStats, SpillStore,
+    Spillable,
+};
 pub use shell::{fold_key_words, shell_class_keys, shell_class_keys_at_radii};
 pub use transport::{
     CopyFate, Corruptible, Fate, FaultPlan, FaultRun, FaultStats, PerfectLink, Transport,
