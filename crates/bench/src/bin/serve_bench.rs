@@ -1,0 +1,253 @@
+//! Advice-as-a-service benchmark: batched decode throughput and latency
+//! through a live `DecodeServer` over loopback TCP, written as JSON.
+//!
+//! Each row trains a dictionary once, starts a server thread, resolves a
+//! query workload (fresh networks the dictionary never saw; every query
+//! pre-escalated to its resolving radius so one request yields one
+//! answer), then replays the workload through the wire protocol at one
+//! batch size:
+//!
+//! * `qps` — total queries served per second of wall-clock round-trip
+//!   time, the serving-throughput headline.
+//! * `p50_us` / `p95_us` / `p99_us` — per-request (batch round-trip)
+//!   latency percentiles in microseconds.
+//! * `hit_rate` — dictionary hits over hits+misses after the measured
+//!   pass; the warmup pass appends miss classes back, so steady state is
+//!   hit-dominated.
+//! * `verified` — every served answer equals the live
+//!   `eval`+`bind` result computed outside the server, and the server
+//!   recorded zero typed errors. A row that serves even one divergent
+//!   answer fails the whole run.
+//!
+//! Usage:
+//! `cargo run --release -p lad-bench --bin serve_bench [--smoke] [OUT.json]`
+//! (default output `BENCH_serve.json`). `--smoke` shrinks workloads and
+//! iteration counts for CI.
+
+use lad_core::{ball_to_words, by_name, train_store, ServedSchema};
+use lad_graph::{generators, IdAssignment};
+use lad_runtime::{Ball, MemoStep, Network};
+use lad_serve::protocol::BatchResult;
+use lad_serve::{Client, DecodeServer};
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 0x5EB7_E5EED;
+
+fn make_net(schema_name: &str, size: usize, seed: u64) -> Network {
+    let g = match schema_name {
+        "balanced" => generators::random_even_degree(size, 3, 6, seed),
+        _ => generators::cycle(size),
+    };
+    let n = g.n();
+    Network::with_ids(g, IdAssignment::random_permutation(n, seed ^ 0xD1C7))
+}
+
+/// One query pre-resolved by the live ladder: the serialized ball at the
+/// radius where the class answers, plus the expected answer words.
+struct ResolvedQuery {
+    words: Vec<u64>,
+    expected: Vec<u64>,
+}
+
+/// Runs the live ladder for every node of `net`, returning one resolved
+/// query per node.
+fn resolve_workload(schema: &dyn ServedSchema, net: &Network) -> Vec<ResolvedQuery> {
+    let advice = schema.encode_advice(net).expect("workload encodes");
+    let advised = net.with_inputs(advice.strings());
+    net.graph()
+        .nodes()
+        .map(|v| {
+            let mut radius = schema.initial_radius();
+            for _ in 0..64 {
+                let ball = Ball::collect(&advised, v, radius);
+                match schema.eval(&ball).expect("workload decodes") {
+                    MemoStep::Done(class_words) => {
+                        let expected = schema.bind(&ball, &class_words).expect("workload binds");
+                        return ResolvedQuery {
+                            words: ball_to_words(&ball),
+                            expected,
+                        };
+                    }
+                    MemoStep::Expand(r) => radius = r,
+                }
+            }
+            panic!("ladder did not resolve at {v:?}")
+        })
+        .collect()
+}
+
+struct RowSpec {
+    schema: &'static str,
+    train_nets: usize,
+    train_size: usize,
+    query_nets: usize,
+    query_size: usize,
+    batch: usize,
+    passes: usize,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn run_row(spec: &RowSpec) -> (String, bool) {
+    let schema = by_name(spec.schema).expect("registered schema");
+    let training: Vec<Network> = (0..spec.train_nets)
+        .map(|i| make_net(spec.schema, spec.train_size, SEED.wrapping_add(i as u64)))
+        .collect();
+    let store = train_store(&*schema, &training).expect("training succeeds");
+    let trained_classes = store.len();
+
+    let query_schema = by_name(spec.schema).expect("registered schema");
+    let workload: Vec<ResolvedQuery> = (0..spec.query_nets)
+        .flat_map(|i| {
+            let net = make_net(spec.schema, spec.query_size, SEED ^ 0xFF00 ^ i as u64);
+            resolve_workload(&*query_schema, &net)
+        })
+        .collect();
+
+    let server = Arc::new(DecodeServer::new(schema, store, true).expect("schemas match"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve_tcp(&listener))
+    };
+    let mut client = Client::connect(addr).expect("connect");
+
+    let batches: Vec<Vec<Vec<u64>>> = workload
+        .chunks(spec.batch)
+        .map(|chunk| chunk.iter().map(|q| q.words.clone()).collect())
+        .collect();
+
+    // Warmup: appends every workload class, so the measured passes run
+    // hit-dominated — and double as the verification pass.
+    let mut verified = true;
+    let mut answered = 0usize;
+    for (batch_idx, batch) in batches.iter().enumerate() {
+        let results = client.batch(batch).expect("warmup batch");
+        for (i, result) in results.iter().enumerate() {
+            let expected = &workload[batch_idx * spec.batch + i].expected;
+            match result {
+                BatchResult::Answer(words) if words == expected => answered += 1,
+                other => {
+                    eprintln!("  divergent answer for query {i}: {other:?}");
+                    verified = false;
+                }
+            }
+        }
+    }
+    verified &= answered == workload.len();
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let measure_start = Instant::now();
+    for _ in 0..spec.passes {
+        for batch in &batches {
+            let t = Instant::now();
+            let results = client.batch(batch).expect("measured batch");
+            latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            if results.len() != batch.len() {
+                verified = false;
+            }
+        }
+    }
+    let elapsed = measure_start.elapsed().as_secs_f64();
+    let queries = (spec.passes * workload.len()) as f64;
+    let qps = queries / elapsed.max(f64::MIN_POSITIVE);
+    latencies_us.sort_by(f64::total_cmp);
+    let stats = server.stats();
+    verified &= stats.errors == 0;
+    let hit_rate = stats.hits as f64 / ((stats.hits + stats.misses) as f64).max(1.0);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+
+    let line = format!(
+        "    {{\"schema\": \"{}\", \"classes\": {trained_classes}, \"queries\": {}, \
+         \"batch\": {}, \"passes\": {}, \"qps\": {qps:.0}, \
+         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"hit_rate\": {hit_rate:.4}, \"verified\": {verified}}}",
+        spec.schema,
+        workload.len(),
+        spec.batch,
+        spec.passes,
+        percentile(&latencies_us, 50.0),
+        percentile(&latencies_us, 95.0),
+        percentile(&latencies_us, 99.0),
+    );
+    (line, verified)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (query_nets, passes) = if smoke { (2, 2) } else { (4, 8) };
+    let mut specs = Vec::new();
+    for schema in ["balanced", "cluster"] {
+        for batch in [1usize, 16, 64] {
+            specs.push(RowSpec {
+                schema,
+                train_nets: 3,
+                train_size: if schema == "balanced" { 24 } else { 40 },
+                query_nets,
+                query_size: if schema == "balanced" { 30 } else { 48 },
+                batch,
+                passes,
+            });
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut all_verified = true;
+    for spec in &specs {
+        eprintln!(
+            "row: {} batch={} query_nets={} passes={}",
+            spec.schema, spec.batch, spec.query_nets, spec.passes
+        );
+        let (line, verified) = run_row(spec);
+        eprintln!("  {}", line.trim());
+        lines.push(line);
+        all_verified &= verified;
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"description\": \"batched decode serving over loopback TCP: train once, replay a \
+         pre-resolved query workload; latencies are per batch round trip\","
+    )
+    .unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    )
+    .unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    writeln!(json, "{}", lines.join(",\n")).unwrap();
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+    if !all_verified {
+        eprintln!("one or more rows failed verification");
+        std::process::exit(1);
+    }
+}

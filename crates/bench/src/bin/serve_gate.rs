@@ -1,0 +1,226 @@
+//! Performance gate for the decode server: diffs a fresh `serve_bench`
+//! run against the committed `BENCH_serve.json` snapshot.
+//!
+//! Three checks, in order of severity:
+//!
+//! 1. **Correctness flags.** Every row on both sides must carry
+//!    `"verified": true` — a serving benchmark whose answers diverged
+//!    from live decoding is a correctness bug, not a slow row.
+//! 2. **Throughput.** Rows are matched by `(schema, batch)`; the gate
+//!    fails when the committed `qps` exceeds the fresh run's by more than
+//!    `--max-ratio` (default 3× — wide enough for CI-runner noise, tight
+//!    enough to catch a serialized batch path or a dictionary that
+//!    stopped hitting).
+//! 3. **Tail-latency ceiling.** Fresh `p99_us` must stay within
+//!    `--max-p99-ratio` (default 4×) of the committed value, unless it is
+//!    below the absolute `--p99-floor-us` (default 500 µs) where loopback
+//!    scheduling noise dominates any real signal.
+//!
+//! Parsing is hand-rolled like the other gates: one row object per line,
+//! no JSON dependency.
+//!
+//! Usage:
+//! `serve_gate <fresh.json> <committed.json> [--max-ratio R]
+//!             [--max-p99-ratio P] [--p99-floor-us F]`
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    schema: String,
+    batch: f64,
+    qps: f64,
+    p99_us: f64,
+    verified: bool,
+}
+
+/// Extracts the raw text of `"key": <value>` from a one-line JSON object,
+/// stopping at the next `,` or closing `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let raw = raw_field(line, key)?;
+    Some(raw.trim_matches('"').to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+/// Parses every result row out of a `serve_bench` JSON file. Unverified
+/// rows are kept so the gate can fail on them explicitly.
+fn parse_rows(text: &str, origin: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"schema\"") || !line.contains("\"qps\"") {
+            continue;
+        }
+        match (
+            str_field(line, "schema"),
+            num_field(line, "batch"),
+            num_field(line, "qps"),
+            num_field(line, "p99_us"),
+            raw_field(line, "verified"),
+        ) {
+            (Some(schema), Some(batch), Some(qps), Some(p99_us), Some(v)) => rows.push(Row {
+                schema,
+                batch,
+                qps,
+                p99_us,
+                verified: v == "true",
+            }),
+            _ => eprintln!("warning: unparseable row in {origin}: {}", line.trim()),
+        }
+    }
+    rows
+}
+
+fn baseline_for<'a>(fresh: &Row, committed: &'a [Row]) -> Option<&'a Row> {
+    committed
+        .iter()
+        .find(|r| r.schema == fresh.schema && r.batch == fresh.batch)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut max_p99_ratio = 4.0f64;
+    let mut p99_floor_us = 500.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--max-ratio" => max_ratio = numeric("--max-ratio"),
+            "--max-p99-ratio" => max_p99_ratio = numeric("--max-p99-ratio"),
+            "--p99-floor-us" => p99_floor_us = numeric("--p99-floor-us"),
+            _ => paths.push(arg),
+        }
+    }
+    let [fresh_path, committed_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: serve_gate <fresh.json> <committed.json> [--max-ratio R] \
+             [--max-p99-ratio P] [--p99-floor-us F]"
+        );
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let fresh = parse_rows(&read(fresh_path), fresh_path);
+    let committed = parse_rows(&read(committed_path), committed_path);
+    if fresh.is_empty() || committed.is_empty() {
+        eprintln!(
+            "error: no comparable rows ({} fresh, {} committed)",
+            fresh.len(),
+            committed.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failures = Vec::new();
+    for (origin, rows) in [("fresh", &fresh), ("committed", &committed)] {
+        for row in rows.iter().filter(|r| !r.verified) {
+            failures.push(format!(
+                "{origin} {} row at batch={} is not verified",
+                row.schema, row.batch
+            ));
+        }
+    }
+    let mut compared = 0usize;
+    eprintln!(
+        "{:>10} {:>6} {:>12} {:>12} {:>7} {:>12} {:>12}",
+        "schema", "batch", "fresh qps", "base qps", "ratio", "fresh p99us", "base p99us"
+    );
+    for row in &fresh {
+        let Some(base) = baseline_for(row, &committed) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = base.qps / row.qps.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "{:>10} {:>6} {:>12.0} {:>12.0} {:>7.2} {:>12.1} {:>12.1}",
+            row.schema, row.batch, row.qps, base.qps, ratio, row.p99_us, base.p99_us
+        );
+        if ratio > max_ratio {
+            failures.push(format!(
+                "{} batch={}: {:.0} qps vs committed {:.0} ({ratio:.2}x > {max_ratio}x)",
+                row.schema, row.batch, row.qps, base.qps
+            ));
+        }
+        let p99_ratio = row.p99_us / base.p99_us.max(f64::MIN_POSITIVE);
+        if row.p99_us > p99_floor_us && p99_ratio > max_p99_ratio {
+            failures.push(format!(
+                "{} batch={}: p99 {:.1}us vs committed {:.1}us \
+                 ({p99_ratio:.2}x > {max_p99_ratio}x tail-latency ceiling)",
+                row.schema, row.batch, row.p99_us, base.p99_us
+            ));
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: no (schema, batch) row matched between the two files");
+        return ExitCode::FAILURE;
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "serve gate passed: {compared} rows within {max_ratio}x throughput and \
+             {max_p99_ratio}x p99 of the committed snapshot"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve gate FAILED ({} checks):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "results": [
+    {"schema": "balanced", "classes": 57, "queries": 120, "batch": 1, "passes": 8, "qps": 9000, "p50_us": 90.0, "p95_us": 150.0, "p99_us": 400.0, "hit_rate": 0.99, "verified": true},
+    {"schema": "balanced", "classes": 57, "queries": 120, "batch": 64, "passes": 8, "qps": 200000, "p50_us": 300.0, "p95_us": 420.0, "p99_us": 800.0, "hit_rate": 0.99, "verified": true},
+    {"schema": "cluster", "classes": 80, "queries": 96, "batch": 16, "passes": 8, "qps": 50000, "p50_us": 200.0, "p95_us": 300.0, "p99_us": 600.0, "hit_rate": 0.95, "verified": false}
+  ]
+}"#;
+
+    #[test]
+    fn parses_rows_including_unverified() {
+        let rows = parse_rows(SAMPLE, "sample");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].schema, "balanced");
+        assert_eq!(rows[1].batch, 64.0);
+        assert_eq!(rows[1].qps, 200000.0);
+        assert!(rows[0].verified);
+        assert!(!rows[2].verified);
+    }
+
+    #[test]
+    fn baseline_matches_on_schema_and_batch() {
+        let rows = parse_rows(SAMPLE, "sample");
+        let fresh = Row {
+            schema: "balanced".into(),
+            batch: 64.0,
+            qps: 150000.0,
+            p99_us: 900.0,
+            verified: true,
+        };
+        let base = baseline_for(&fresh, &rows).expect("matching row");
+        assert_eq!(base.qps, 200000.0);
+        let other = Row {
+            batch: 32.0,
+            ..fresh
+        };
+        assert!(baseline_for(&other, &rows).is_none(), "batch must match");
+    }
+}

@@ -746,6 +746,53 @@ pub(crate) struct SlotDirections {
     endpoint_away: Option<bool>,
 }
 
+impl SlotDirections {
+    /// Serializes to self-delimiting words (the persistent class store's
+    /// currency): `[slot count, forward bits…, 0 | 1 away | 2 toward]`.
+    pub(crate) fn to_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.forward.len() + 2);
+        words.push(self.forward.len() as u64);
+        words.extend(self.forward.iter().map(|&b| u64::from(b)));
+        words.push(match self.endpoint_away {
+            None => 0,
+            Some(true) => 1,
+            Some(false) => 2,
+        });
+        words
+    }
+
+    /// Parses words written by [`SlotDirections::to_words`]; `None` on
+    /// truncated or malformed input (a stale or foreign dictionary entry).
+    pub(crate) fn from_words(words: &[u64]) -> Option<SlotDirections> {
+        let mut it = words.iter();
+        let count = usize::try_from(*it.next()?).ok()?;
+        if count > it.len() {
+            return None;
+        }
+        let forward: Vec<bool> = (&mut it)
+            .take(count)
+            .map(|&w| match w {
+                0 => Some(false),
+                1 => Some(true),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let endpoint_away = match *it.next()? {
+            0 => None,
+            1 => Some(true),
+            2 => Some(false),
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(SlotDirections {
+            forward,
+            endpoint_away,
+        })
+    }
+}
+
 /// Computes the center's trail decisions. This is the order-invariant core
 /// of the decoder: identifiers are consumed exclusively through order
 /// comparisons (slot sorting, pairing, canonical direction rules), so the
@@ -790,6 +837,52 @@ fn decode_at_node(
 ) -> Result<Vec<(EdgeId, bool)>, DecodeError> {
     let dirs = slot_directions(ball, budget)?;
     Ok(bind_slots(ball.graph(), ball.uids(), ball.center(), &dirs))
+}
+
+/// The serving bridge: re-binds a stored class verdict (serialized
+/// [`SlotDirections`]) to the query ball's center and answers as
+/// uid-claim words `[pair count, tail uid, head uid, …]` — the same
+/// claims [`AdviceSchema::decode`] aggregates, so a served answer and a
+/// live decode agree edge for edge.
+///
+/// # Errors
+///
+/// [`DecodeError::Inconsistent`] when the words do not parse as
+/// [`SlotDirections`] or do not match the center's degree structure — a
+/// stale or foreign dictionary entry must surface as a typed error, never
+/// bind to the wrong edges.
+pub(crate) fn bind_class_words(
+    ball: &lad_runtime::Ball<BitString>,
+    class_words: &[u64],
+) -> Result<Vec<u64>, DecodeError> {
+    let stale = |what: &str| {
+        DecodeError::Inconsistent(format!(
+            "stored balanced-orientation verdict {what} — stale or mismatched dictionary"
+        ))
+    };
+    let dirs = SlotDirections::from_words(class_words).ok_or_else(|| stale("does not parse"))?;
+    let g = ball.graph();
+    let c = ball.center();
+    if dirs.forward.len() != slot_pairs(g, c)
+        || dirs.endpoint_away.is_some() != (g.degree(c) % 2 == 1)
+    {
+        return Err(stale("does not match the query center's degree"));
+    }
+    let uids = ball.uids();
+    let bound = bind_slots(g, uids, c, &dirs);
+    let mut words = Vec::with_capacity(1 + 2 * bound.len());
+    words.push(bound.len() as u64);
+    for (e, out_of_center) in bound {
+        let u = g.other_endpoint(e, c);
+        let (tail, head) = if out_of_center {
+            (uids[c.index()], uids[u.index()])
+        } else {
+            (uids[u.index()], uids[c.index()])
+        };
+        words.push(tail);
+        words.push(head);
+    }
+    Ok(words)
 }
 
 /// Re-binds slot-indexed decisions to concrete incident edges of `c` on

@@ -63,6 +63,7 @@ pub mod onebit;
 pub mod open_problems;
 pub mod proofs;
 pub mod schema;
+pub mod served;
 pub mod sharded;
 pub mod splitting;
 pub mod three_coloring;
@@ -73,3 +74,7 @@ pub use advice::AdviceMap;
 pub use bits::{BitReader, BitString};
 pub use error::{DecodeError, EncodeError};
 pub use schema::AdviceSchema;
+pub use served::{
+    ball_from_words, ball_to_words, by_name, query_key, train_store, ServedSchema, TrainError,
+    WireError, SERVED_SCHEMAS,
+};

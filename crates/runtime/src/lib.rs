@@ -78,6 +78,7 @@ pub mod network;
 pub mod plan;
 pub mod shard;
 pub mod shell;
+pub mod store;
 pub mod transport;
 
 pub use ball::Ball;
@@ -113,6 +114,9 @@ pub use shard::{
     Spillable,
 };
 pub use shell::{fold_key_words, shell_class_keys, shell_class_keys_at_radii};
+pub use store::{
+    ClassStore, ClassVerdict, SchemaId, StoreError, KEY_LAYOUT_VERSION, STORE_VERSION,
+};
 pub use transport::{
     CopyFate, Corruptible, Fate, FaultPlan, FaultRun, FaultStats, PerfectLink, Transport,
 };

@@ -262,8 +262,10 @@ impl<T: Spillable> Spillable for Option<T> {
 
 const SPILL_MAGIC: [u8; 8] = *b"LADSPILL";
 /// Current spill format version; bumped on any layout change so stale
-/// scratch directories are rejected instead of misread.
-pub const SPILL_VERSION: u32 = 1;
+/// scratch directories are rejected instead of misread. Version 2 added
+/// the trailing whole-file checksum word and atomic (temp + rename)
+/// writes.
+pub const SPILL_VERSION: u32 = 2;
 
 /// Which section of shard state a spill file holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -297,9 +299,15 @@ impl SpillKind {
 /// A directory of spill files, one per `(kind, shard)` section.
 ///
 /// Files carry `LADSPILL`, [`SPILL_VERSION`], the kind tag, the shard id,
-/// and a word count; [`SpillStore::load`] validates all of them. Stores
-/// opened with [`SpillStore::temp`] delete their directory on drop;
-/// caller-provided directories ([`SpillStore::open`]) are left in place.
+/// a word count, the payload, and a trailing whole-file checksum;
+/// [`SpillStore::load`] validates all of them with checked arithmetic and
+/// returns a typed [`io::ErrorKind::InvalidData`] error on any corruption
+/// — an untrusted header word can never index or allocate out of bounds.
+/// Writes go to a temp file and rename into place atomically, so a crash
+/// mid-save leaves "absent" (retryable), never a truncated file
+/// masquerading as corruption. Stores opened with [`SpillStore::temp`]
+/// delete their directory on drop; caller-provided directories
+/// ([`SpillStore::open`]) are left in place.
 #[derive(Debug)]
 pub struct SpillStore {
     dir: PathBuf,
@@ -336,9 +344,9 @@ impl SpillStore {
         self.dir.join(format!("{}-{shard}.lsp", kind.name()))
     }
 
-    /// Serializes and writes one section.
+    /// Serializes and writes one section atomically (temp file + rename).
     pub fn save(&self, kind: SpillKind, shard: usize, words: &[u64]) -> io::Result<()> {
-        let mut buf = Vec::with_capacity(24 + 8 * words.len());
+        let mut buf = Vec::with_capacity(40 + 8 * words.len());
         buf.extend_from_slice(&SPILL_MAGIC);
         buf.extend_from_slice(&SPILL_VERSION.to_le_bytes());
         buf.extend_from_slice(&kind.tag().to_le_bytes());
@@ -347,18 +355,22 @@ impl SpillStore {
         for &w in words {
             buf.extend_from_slice(&w.to_le_bytes());
         }
+        let checksum = crate::store::fold_bytes(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
         note_buffer(buf.len() as u64);
         SPILL_WRITTEN.fetch_add(buf.len() as u64, Ordering::Relaxed);
         SPILL_FILES.fetch_add(1, Ordering::Relaxed);
-        std::fs::write(self.path(kind, shard), buf)
+        crate::store::atomic_write(&self.path(kind, shard), &buf)
     }
 
-    /// Reads one section back, validating magic, version, kind, and shard.
+    /// Reads one section back, validating magic, version, kind, shard,
+    /// payload bounds (checked arithmetic — a corrupt count word cannot
+    /// overflow), and the trailing whole-file checksum.
     pub fn load(&self, kind: SpillKind, shard: usize) -> io::Result<Vec<u64>> {
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let buf = std::fs::read(self.path(kind, shard))?;
         note_buffer(buf.len() as u64);
-        if buf.len() < 32 {
+        if buf.len() < 40 {
             return Err(bad(format!("spill file truncated: {} bytes", buf.len())));
         }
         if buf[..8] != SPILL_MAGIC {
@@ -384,12 +396,21 @@ impl SpillStore {
                 word(16)
             )));
         }
-        let count = word(24) as usize;
-        if buf.len() != 32 + 8 * count {
-            return Err(bad(format!(
-                "spill payload {} bytes, header promises {count} words",
-                buf.len() - 32
-            )));
+        // The count is an untrusted header word: size it with checked
+        // arithmetic so a corrupt value yields InvalidData, not overflow.
+        let count = usize::try_from(word(24))
+            .ok()
+            .filter(|&c| c.checked_mul(8).and_then(|b| b.checked_add(40)) == Some(buf.len()))
+            .ok_or_else(|| {
+                bad(format!(
+                    "spill payload {} bytes, header promises {} words",
+                    buf.len() - 40,
+                    word(24)
+                ))
+            })?;
+        let checksum = word(buf.len() - 8);
+        if crate::store::fold_bytes(&buf[..buf.len() - 8]) != checksum {
+            return Err(bad("spill checksum mismatch (corrupt file)".into()));
         }
         SPILL_READ.fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok((0..count).map(|i| word(32 + 8 * i)).collect())
@@ -497,6 +518,11 @@ impl<Out> ShardMemo<Out> {
     /// Distinct canonical classes this shard evaluated.
     pub fn class_count(&self) -> usize {
         self.memo.class_count()
+    }
+
+    /// Unwraps the sealed class table (for the persistent class store).
+    pub(crate) fn into_memo(self) -> ClassMemo<Out> {
+        self.memo
     }
 }
 

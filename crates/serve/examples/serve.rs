@@ -1,0 +1,88 @@
+//! End-to-end "advice as a service" demo: train a small dictionary,
+//! serve it on a loopback TCP socket, and decode a fresh network's
+//! balanced orientation entirely through the client protocol.
+//!
+//! ```sh
+//! cargo run -p lad-serve --example serve
+//! ```
+
+use lad_core::{ball_to_words, by_name, train_store};
+use lad_graph::{generators, IdAssignment};
+use lad_runtime::{Ball, Network};
+use lad_serve::protocol::BatchResult;
+use lad_serve::{Client, DecodeServer};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn net(seed: u64) -> Network {
+    let g = generators::random_even_degree(24, 3, 6, seed);
+    let n = g.n();
+    Network::with_ids(g, IdAssignment::random_permutation(n, seed ^ 0xFEED))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train once (the centralized, expensive side).
+    let schema = by_name("balanced").expect("registered schema");
+    let training: Vec<Network> = (1..=4).map(net).collect();
+    let store = train_store(&*schema, &training)?;
+    println!("trained {} classes for {}", store.len(), store.schema());
+
+    // 2. Serve forever (well, until we ask it to stop). Misses fall
+    //    through to live evaluation and are appended back.
+    let server = Arc::new(DecodeServer::new(schema, store, true)?);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve_tcp(&listener))
+    };
+
+    // 3. Decode a network the server has never seen, over the wire.
+    let query_schema = by_name("balanced").expect("registered schema");
+    let fresh = net(99);
+    let advice = query_schema.encode_advice(&fresh)?;
+    let advised = fresh.with_inputs(advice.strings());
+
+    let mut client = Client::connect(addr)?;
+    let info = client.info()?;
+    println!(
+        "server: schema {} / radius {} / {} classes",
+        info.name, info.radius, info.classes
+    );
+
+    let queries: Vec<Vec<u64>> = fresh
+        .graph()
+        .nodes()
+        .map(|v| ball_to_words(&Ball::collect(&advised, v, info.radius)))
+        .collect();
+    let results = client.batch(&queries)?;
+
+    let mut answered = 0usize;
+    for (v, result) in fresh.graph().nodes().zip(&results) {
+        match result {
+            BatchResult::Answer(words) => {
+                answered += 1;
+                if v.index() < 3 {
+                    println!(
+                        "node {v:?}: {} oriented edge claims",
+                        words.first().copied().unwrap_or(0)
+                    );
+                }
+            }
+            BatchResult::NeedRadius(r) => println!("node {v:?}: needs radius {r}"),
+            BatchResult::ServerError { code, message } => {
+                println!("node {v:?}: server error {code}: {message}")
+            }
+        }
+    }
+    println!("{answered}/{} nodes answered in one batch", results.len());
+
+    client.shutdown()?;
+    handle.join().expect("server thread")?;
+    let stats = server.stats();
+    println!(
+        "server stats: {} hits / {} misses / {} verified / {} appended",
+        stats.hits, stats.misses, stats.verified, stats.appended
+    );
+    Ok(())
+}

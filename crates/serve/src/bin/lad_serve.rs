@@ -1,0 +1,244 @@
+//! `lad_serve` — train a class dictionary once, then serve decode
+//! queries from it.
+//!
+//! ```text
+//! lad_serve train --schema balanced --out dict.lads [--nets 4] [--size 32] [--seed 1]
+//! lad_serve serve --schema balanced --store dict.lads [--tcp 127.0.0.1:7171]
+//!                 [--append] [--save-on-exit PATH]
+//! lad_serve info  --store dict.lads
+//! ```
+//!
+//! `serve` without `--tcp` speaks the frame protocol on stdio. `--append`
+//! folds miss classes discovered by live fall-through back into the
+//! in-memory dictionary; `--save-on-exit` persists the extended
+//! dictionary when the server shuts down cleanly.
+
+use lad_core::{by_name, train_store, SERVED_SCHEMAS};
+use lad_graph::{generators, IdAssignment};
+use lad_runtime::store::ClassStore;
+use lad_runtime::Network;
+use lad_serve::DecodeServer;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         lad_serve train --schema <{names}> --out <path> [--nets N] [--size N] [--seed S]\n  \
+         lad_serve serve --schema <{names}> --store <path> [--tcp ADDR] [--append] \
+         [--save-on-exit PATH]\n  \
+         lad_serve info  --store <path>",
+        names = SERVED_SCHEMAS.join("|")
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Option<Args> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let takes_value = !matches!(name, "append");
+                let value = if takes_value { Some(it.next()?) } else { None };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Some(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Option<u64> {
+        match self.flag(name) {
+            Some(s) => s.parse().ok(),
+            None => Some(default),
+        }
+    }
+}
+
+/// A small training corpus matched to the schema's encodable family:
+/// balanced orientations need even degrees, cluster coloring is happiest
+/// on long cycles. Seeds vary both structure and the uid permutation so
+/// the dictionary sees diverse uid-rank patterns.
+fn training_nets(schema_name: &str, nets: u64, size: u64, seed: u64) -> Vec<Network> {
+    (0..nets)
+        .map(|i| {
+            let s = seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let g = match schema_name {
+                "balanced" => generators::random_even_degree(size as usize, 3, 6, s),
+                _ => generators::cycle(size as usize),
+            };
+            let n = g.n();
+            Network::with_ids(g, IdAssignment::random_permutation(n, s ^ 0x5A5A))
+        })
+        .collect()
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let (Some(name), Some(out)) = (args.flag("schema"), args.flag("out")) else {
+        return usage();
+    };
+    let Some(schema) = by_name(name) else {
+        eprintln!(
+            "lad_serve: unknown schema {name:?} (have: {})",
+            SERVED_SCHEMAS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let (Some(nets), Some(size), Some(seed)) = (
+        args.num("nets", 4),
+        args.num("size", 32),
+        args.num("seed", 1),
+    ) else {
+        return usage();
+    };
+    let training = training_nets(name, nets.max(1), size.max(8), seed);
+    let store = match train_store(&*schema, &training) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("lad_serve: training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = store.save(out) {
+        eprintln!("lad_serve: saving {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trained {} classes for schema {} (radius {}) -> {out}",
+        store.len(),
+        store.schema(),
+        store.radius()
+    );
+    ExitCode::SUCCESS
+}
+
+fn load_server(args: &Args) -> Result<DecodeServer, ExitCode> {
+    let (Some(name), Some(path)) = (args.flag("schema"), args.flag("store")) else {
+        return Err(usage());
+    };
+    let Some(schema) = by_name(name) else {
+        eprintln!(
+            "lad_serve: unknown schema {name:?} (have: {})",
+            SERVED_SCHEMAS.join(", ")
+        );
+        return Err(ExitCode::FAILURE);
+    };
+    let expected = schema.schema_id();
+    let store = ClassStore::open(path, Some(&expected)).map_err(|e| {
+        eprintln!("lad_serve: opening {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    DecodeServer::new(schema, store, args.has("append")).map_err(|e| {
+        eprintln!("lad_serve: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let server = match load_server(args) {
+        Ok(server) => server,
+        Err(code) => return code,
+    };
+    eprintln!(
+        "lad_serve: {} classes loaded for {} (radius {})",
+        server.class_count(),
+        server.schema().schema_id(),
+        server.radius()
+    );
+    let result = match args.flag("tcp") {
+        Some(addr) => TcpListener::bind(addr).and_then(|listener| {
+            eprintln!(
+                "lad_serve: listening on {}",
+                listener
+                    .local_addr()
+                    .map_or_else(|_| addr.into(), |a| a.to_string())
+            );
+            server.serve_tcp(&listener)
+        }),
+        None => server.serve_stdio(),
+    };
+    if let Err(e) = result {
+        eprintln!("lad_serve: serving failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = server.stats();
+    eprintln!(
+        "lad_serve: done — {} hits, {} misses, {} verified, {} appended, {} errors",
+        stats.hits, stats.misses, stats.verified, stats.appended, stats.errors
+    );
+    if let Some(path) = args.flag("save-on-exit") {
+        if let Err(e) = server.save(path) {
+            eprintln!("lad_serve: saving {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("lad_serve: dictionary saved to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &Args) -> ExitCode {
+    let Some(path) = args.flag("store") else {
+        return usage();
+    };
+    // No expected schema: validate structure + internal digest only.
+    let store: ClassStore<Vec<u64>> = match ClassStore::open(path, None) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("lad_serve: opening {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (mut done, mut expand, mut failed) = (0usize, 0usize, 0usize);
+    for (_, verdict) in store.iter() {
+        match verdict {
+            lad_runtime::ClassVerdict::Done(_) => done += 1,
+            lad_runtime::ClassVerdict::Expand(_) => expand += 1,
+            lad_runtime::ClassVerdict::Failed => failed += 1,
+        }
+    }
+    println!("schema:  {}", store.schema());
+    println!("radius:  {}", store.radius());
+    println!(
+        "classes: {} ({done} done, {expand} expand, {failed} failed)",
+        store.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(raw) else {
+        return usage();
+    };
+    if !args.positional.is_empty() {
+        return usage();
+    }
+    match command.as_str() {
+        "train" => cmd_train(&args),
+        "serve" => cmd_serve(&args),
+        "info" => cmd_info(&args),
+        _ => usage(),
+    }
+}
