@@ -326,20 +326,29 @@ pub fn ball_to_words(ball: &Ball<BitString>) -> Vec<u64> {
 /// [`WireError`] on any structural violation.
 pub fn ball_from_words(words: &[u64]) -> Result<Ball<BitString>, WireError> {
     let bad = |msg: &str| WireError::new(msg);
-    let mut it = words.iter().copied();
-    let mut next = |what: &'static str| {
+    fn next(
+        it: &mut std::iter::Copied<std::slice::Iter<'_, u64>>,
+        what: &'static str,
+    ) -> Result<u64, WireError> {
         it.next()
             .ok_or_else(|| WireError::new(format!("truncated at {what}")))
-    };
-    let radius = usize::try_from(next("radius")?).map_err(|_| bad("radius overflows"))?;
-    let n = usize::try_from(next("node count")?).map_err(|_| bad("node count overflows"))?;
-    let m = usize::try_from(next("edge count")?).map_err(|_| bad("edge count overflows"))?;
+    }
+    let mut it = words.iter().copied();
+    let radius = usize::try_from(next(&mut it, "radius")?).map_err(|_| bad("radius overflows"))?;
+    let n =
+        usize::try_from(next(&mut it, "node count")?).map_err(|_| bad("node count overflows"))?;
+    let m =
+        usize::try_from(next(&mut it, "edge count")?).map_err(|_| bad("edge count overflows"))?;
     if n == 0 || n > u32::MAX as usize {
         return Err(bad("node count out of range"));
     }
     // Each node contributes ≥ 4 words and each edge 1: a cheap bound that
-    // stops a corrupt count from driving large allocations below.
-    if n.checked_mul(4).and_then(|w| w.checked_add(m)) > Some(words.len()) {
+    // stops a corrupt count from driving large allocations below. An
+    // overflowing total is itself a hostile claim, never an accept.
+    let Some(total) = n.checked_mul(4).and_then(|w| w.checked_add(m)) else {
+        return Err(bad("counts exceed the payload"));
+    };
+    if total > words.len() {
         return Err(bad("counts exceed the payload"));
     }
     let mut dist = Vec::with_capacity(n);
@@ -347,19 +356,25 @@ pub fn ball_from_words(words: &[u64]) -> Result<Ball<BitString>, WireError> {
     let mut degrees = Vec::with_capacity(n);
     let mut inputs = Vec::with_capacity(n);
     for _ in 0..n {
-        let d = usize::try_from(next("dist")?).map_err(|_| bad("dist overflows"))?;
+        let d = usize::try_from(next(&mut it, "dist")?).map_err(|_| bad("dist overflows"))?;
         if d > radius {
             return Err(bad("node distance exceeds the radius"));
         }
         dist.push(d);
-        uids.push(next("uid")?);
-        degrees.push(usize::try_from(next("degree")?).map_err(|_| bad("degree overflows"))?);
-        let bit_len =
-            usize::try_from(next("advice length")?).map_err(|_| bad("advice length overflows"))?;
+        uids.push(next(&mut it, "uid")?);
+        degrees
+            .push(usize::try_from(next(&mut it, "degree")?).map_err(|_| bad("degree overflows"))?);
+        let bit_len = usize::try_from(next(&mut it, "advice length")?)
+            .map_err(|_| bad("advice length overflows"))?;
+        // Bound the claimed length against the remaining payload *before*
+        // allocating, so a small hostile frame cannot request gigabytes.
         let word_count = bit_len.div_ceil(64);
+        if word_count > it.len() {
+            return Err(bad("advice length exceeds the payload"));
+        }
         let mut bits = Vec::with_capacity(bit_len);
         for w in 0..word_count {
-            let packed = next("advice bits")?;
+            let packed = next(&mut it, "advice bits")?;
             let take = (bit_len - w * 64).min(64);
             if take < 64 && packed >> take != 0 {
                 return Err(bad("advice padding bits are not zero"));
@@ -374,7 +389,7 @@ pub fn ball_from_words(words: &[u64]) -> Result<Ball<BitString>, WireError> {
     let mut builder = GraphBuilder::new(n);
     let mut prev: Option<u64> = None;
     for _ in 0..m {
-        let packed = next("edge")?;
+        let packed = next(&mut it, "edge")?;
         if prev.is_some_and(|p| p >= packed) {
             return Err(bad("edges are not strictly ascending"));
         }
@@ -456,6 +471,21 @@ mod tests {
             // structurally, a uid/advice flip parses to a different key.
             let _ = ball_from_words(&corrupt);
         }
+    }
+
+    #[test]
+    fn hostile_size_claims_are_rejected_before_allocating() {
+        // n*4 + m overflows usize: the counts guard must treat overflow as
+        // an explicit error, not fall through to per-node allocations.
+        assert!(ball_from_words(&[1, u32::MAX as u64, u64::MAX]).is_err());
+        assert!(ball_from_words(&[1, 2, u64::MAX]).is_err());
+        // A tiny frame claiming ~2^62 advice bits: the claim must be
+        // bounded against the remaining payload before Vec::with_capacity.
+        let frame = [1, 1, 0, 0, 7, 0, 1 << 62];
+        assert!(ball_from_words(&frame).is_err());
+        // Same claim mid-frame, with plausible words after it.
+        let frame = [1, 2, 1, 0, 7, 3, u64::MAX, 1, 8, 2, 0, 1];
+        assert!(ball_from_words(&frame).is_err());
     }
 
     #[test]

@@ -36,8 +36,9 @@ use lad_runtime::store::{ClassStore, ClassVerdict, SchemaId, StoreError};
 use lad_runtime::{par_map_with, CanonScratch, CanonicalKey, MemoStep};
 use protocol::{
     decode_batch_response, push_string, read_frame, read_string, write_frame, BatchResult,
-    ERR_BAD_REQUEST, ERR_DECODE, ERR_MALFORMED_QUERY, ERR_STALE_DICTIONARY, REQ_BATCH, REQ_INFO,
-    REQ_SHUTDOWN, RESP_BATCH, RESP_BYE, RESP_ERROR, RESP_INFO, RES_ERROR, RES_NEED_RADIUS, RES_OK,
+    ERR_BAD_REQUEST, ERR_DECODE, ERR_MALFORMED_QUERY, ERR_STALE_DICTIONARY, MAX_FRAME_WORDS,
+    REQ_BATCH, REQ_INFO, REQ_SHUTDOWN, RESP_BATCH, RESP_BYE, RESP_ERROR, RESP_INFO, RES_ERROR,
+    RES_NEED_RADIUS, RES_OK,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -334,7 +335,7 @@ impl DecodeServer {
                         }
                     }
                 }
-                (resp, false)
+                (cap_response(resp, MAX_FRAME_WORDS), false)
             }
             Some(&REQ_INFO) => {
                 let store = self.store.read().expect("store lock");
@@ -406,6 +407,19 @@ impl DecodeServer {
         }
         Ok(())
     }
+}
+
+/// Replaces a response exceeding the frame cap with a typed
+/// [`RESP_ERROR`] frame. Without this, [`write_frame`] would refuse the
+/// oversized frame with `InvalidData` and the serve loop would drop the
+/// connection silently — indistinguishable from client misbehavior.
+fn cap_response(resp: Vec<u64>, cap: u64) -> Vec<u64> {
+    if resp.len() as u64 <= cap {
+        return resp;
+    }
+    let mut err = vec![RESP_ERROR, ERR_BAD_REQUEST];
+    push_string(&mut err, "response exceeds the frame cap — split the batch");
+    err
 }
 
 /// Parses `[REQ_BATCH, count, per query: len, words…]` into query slices.
@@ -543,6 +557,19 @@ mod tests {
             .filter(|&c| DecodeServer::should_verify(c))
             .collect();
         assert_eq!(verified, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn oversized_responses_become_typed_errors_not_dropped_connections() {
+        let fits = vec![RESP_BATCH, 0];
+        assert_eq!(cap_response(fits.clone(), 8), fits);
+        let capped = cap_response(vec![0; 9], 8);
+        assert_eq!(capped[0], RESP_ERROR);
+        assert_eq!(capped[1], ERR_BAD_REQUEST);
+        let decoded = decode_batch_response(&capped).expect_err("typed server error");
+        assert_eq!(decoded.kind(), io::ErrorKind::InvalidData);
+        // The substitute frame itself always fits under the real cap.
+        assert!((capped.len() as u64) < MAX_FRAME_WORDS);
     }
 
     #[test]
